@@ -1,0 +1,19 @@
+"""Shared configuration for the per-figure benchmark harness.
+
+Each benchmark regenerates a scaled-down version of one paper artifact
+(table or figure) inside ``benchmark.pedantic(..., rounds=1)`` — the
+simulations are deterministic and heavy, so a single round is measured
+— and then asserts the paper's qualitative shape on the result.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

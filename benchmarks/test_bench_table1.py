@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 1 / Fig. 5 punch-signal encodings."""
+
+from repro.core import PunchEncodingAnalysis
+from repro.noc import Direction, MeshTopology
+
+
+def full_encoding_analysis():
+    analysis = PunchEncodingAnalysis(MeshTopology(8, 8), hops=3)
+    xpos = analysis.analyze_link(27, Direction.XPOS)
+    ypos = analysis.analyze_link(27, Direction.YPOS)
+    table = analysis.encoding_table(27, Direction.XPOS)
+    return xpos, ypos, table
+
+
+def test_bench_table1(once):
+    xpos, ypos, table = once(full_encoding_analysis)
+    # Paper Table 1: exactly 22 distinct targeted-router sets.
+    assert len(xpos.distinct_sets) == 22
+    assert len(table) == 22
+    # Paper Fig. 5: 5-bit X punch signals, 2-bit Y punch signals.
+    assert xpos.width_bits == 5
+    assert ypos.width_bits == 2
+    # Paper Sec. 4.1 step 3: only R25/R26/R27 source this link.
+    assert xpos.sources == (25, 26, 27)
+
+
+def test_bench_table1_chip_wide_widths(once):
+    analysis = PunchEncodingAnalysis(MeshTopology(8, 8), hops=3)
+
+    def chip_wide():
+        return analysis.max_width("x"), analysis.max_width("y")
+
+    x_bits, y_bits = once(chip_wide)
+    assert (x_bits, y_bits) == (5, 2)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Anatomy of a punch signal: encoding, propagation and wakeup timing.
+
+A guided tour of the paper's Section 4 machinery using the library's
+lower-level APIs:
+
+1. the encoding analysis (which routers can talk on a link, how many
+   distinct merged signals exist, how wide the wires must be);
+2. a cycle-by-cycle trace of a punch signal racing a packet, showing
+   the wakeup completing just before the packet arrives.
+"""
+
+from repro.core import PowerPunchSignal, PunchEncodingAnalysis
+from repro.noc import Direction, MeshTopology, Network, NoCConfig, VirtualNetwork
+from repro.noc.packet import control_packet
+
+
+def encoding_tour():
+    print("=" * 70)
+    print("1. Encoding (paper Sec. 4.1, Table 1, Fig. 5)")
+    print("=" * 70)
+    topo = MeshTopology(8, 8)
+    analysis = PunchEncodingAnalysis(topo, hops=3)
+    enc = analysis.analyze_link(27, Direction.XPOS)
+    print(f"Routers within 3 hops of R27: {len(topo.nodes_within(27, 3))} "
+          "(the naive monitoring set, ~38% of the chip)")
+    print(f"Sources that can actually use link R27->R28 under XY: {enc.sources}")
+    for source in enc.sources:
+        print(f"  R{source} may target {sorted(enc.targets_by_source[source])}")
+    print(f"Distinct merged target sets: {len(enc.distinct_sets)} "
+          f"-> {enc.width_bits}-bit punch wire (128-bit data links!)")
+    y = analysis.analyze_link(27, Direction.YPOS)
+    print(f"Y+ direction: only {len(y.distinct_sets)} sets "
+          f"({[sorted(s) for s in y.distinct_sets]}) -> {y.width_bits} bits")
+
+
+def propagation_tour():
+    print()
+    print("=" * 70)
+    print("2. Punch signal racing a packet (paper Sec. 3 timing)")
+    print("=" * 70)
+    scheme = PowerPunchSignal(wakeup_latency=8, punch_hops=3)
+    net = Network(NoCConfig(router_stages=3), scheme)
+    for _ in range(30):  # let every router fall asleep
+        net.step()
+    asleep = sum(1 for c in scheme.controllers if c.is_off)
+    print(f"After 30 idle cycles: {asleep}/64 routers gated off")
+
+    packet = control_packet(0, 7, VirtualNetwork.REQUEST, net.cycle)
+    net.inject(packet)
+    states = {}
+    for _ in range(80):
+        net.step()
+        for router in range(8):
+            ctl = scheme.controllers[router]
+            key = (
+                "ACTIVE" if ctl.is_available else ("WAKING" if ctl.is_waking else "OFF")
+            )
+            if states.get(router) != key:
+                states[router] = key
+                print(f"  cycle {net.cycle:3d}: R{router} -> {key}")
+        if packet.delivered_at is not None:
+            break
+    print(f"Packet 0->7 delivered at cycle {packet.delivered_at}; "
+          f"wakeup wait = {packet.wakeup_wait_cycles} cycles, "
+          f"blocked routers = {sorted(packet.blocked_routers)}")
+    print("Only the injection-side routers ever stall the packet; everything")
+    print("3+ hops downstream is awake by the time the packet arrives.")
+
+
+if __name__ == "__main__":
+    encoding_tour()
+    propagation_tour()

@@ -1,0 +1,17 @@
+"""Power Punch reproduction library.
+
+A from-scratch, cycle-accurate reproduction of "Power Punch: Towards
+Non-blocking Power-gating of NoC Routers" (Chen, Zhu, Pedram and
+Pinkston, HPCA 2015): a 2D-mesh wormhole NoC simulator, router
+power-gating with the WU/PG handshake, the Power Punch multi-hop
+punch-signal and injection-slack mechanisms, a DSENT-style router
+energy model, synthetic and closed-loop (CMP + MESI coherence)
+workloads, and harnesses regenerating every figure and table of the
+paper's evaluation.
+"""
+
+__version__ = "1.0.0"
+
+from .noc import Network, NoCConfig
+
+__all__ = ["Network", "NoCConfig", "__version__"]

@@ -1,0 +1,5 @@
+"""Baseline power-gating schemes the paper compares against."""
+
+from .nord import BypassRing, NoRDLike, snake_order
+
+__all__ = ["BypassRing", "NoRDLike", "snake_order"]

@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro.cli <command>``.
+
+One front door for every harness in the repository::
+
+    python -m repro.cli table1
+    python -m repro.cli parsec-suite --out results/parsec.json
+    python -m repro.cli fig7-fig8 --cache results/parsec.json
+    python -m repro.cli fig12 --patterns uniform_random
+    python -m repro.cli ablations
+    python -m repro.cli baselines
+    python -m repro.cli all --out results/
+
+``repro.cli all`` regenerates the complete evaluation in one go (this
+is the long way to reproduce EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from .experiments import (
+    ablations,
+    headline,
+    baselines_compare,
+    fig7_fig8,
+    fig9_fig10,
+    fig11,
+    fig12,
+    fig13,
+    parsec_suite,
+    scalability,
+    table1,
+)
+
+_COMMANDS = {
+    "table1": table1.main,
+    "parsec-suite": parsec_suite.main,
+    "fig7-fig8": fig7_fig8.main,
+    "fig9-fig10": fig9_fig10.main,
+    "fig11": fig11.main,
+    "fig12": fig12.main,
+    "fig13": fig13.main,
+    "scalability": scalability.main,
+    "ablations": ablations.main,
+    "baselines": baselines_compare.main,
+    "headline": headline.main,
+}
+
+
+def _run_all(argv: Sequence[str]) -> None:
+    parser = argparse.ArgumentParser(prog="repro.cli all")
+    parser.add_argument("--out", default="results")
+    parser.add_argument("--instructions", type=int, default=2000)
+    args = parser.parse_args(argv)
+    cache = f"{args.out}/parsec_suite.json"
+    parsec_suite.main(["--out", cache, "--instructions", str(args.instructions)])
+    for name, main in (
+        ("fig7-fig8", fig7_fig8.main),
+        ("fig9-fig10", fig9_fig10.main),
+        ("fig11", fig11.main),
+        ("headline", headline.main),
+    ):
+        print(f"\n==== {name} ====")
+        main(["--cache", cache])
+    for name, main in (
+        ("table1", table1.main),
+        ("fig12", fig12.main),
+        ("fig13", fig13.main),
+        ("scalability", scalability.main),
+        ("ablations", ablations.main),
+        ("baselines", baselines_compare.main),
+    ):
+        print(f"\n==== {name} ====")
+        main([])
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Dispatch a CLI command (see module docstring for the list)."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print(__doc__)
+        print("commands:", ", ".join(sorted(_COMMANDS)), ", all")
+        return
+    command, rest = argv[0], argv[1:]
+    if command == "all":
+        _run_all(rest)
+        return
+    try:
+        runner = _COMMANDS[command]
+    except KeyError:
+        raise SystemExit(
+            f"unknown command {command!r}; available: {sorted(_COMMANDS)} + ['all']"
+        )
+    runner(rest)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,22 @@
+"""Power Punch core: punch encoding, punch fabric and the evaluated schemes."""
+
+from .punch_encoding import LinkEncoding, PunchEncodingAnalysis
+from .punch_fabric import PunchFabric
+from .schemes import (
+    ConvOptPG,
+    NoPG,
+    PowerGatedScheme,
+    PowerPunchPG,
+    PowerPunchSignal,
+)
+
+__all__ = [
+    "ConvOptPG",
+    "LinkEncoding",
+    "NoPG",
+    "PowerGatedScheme",
+    "PowerPunchPG",
+    "PowerPunchSignal",
+    "PunchEncodingAnalysis",
+    "PunchFabric",
+]

@@ -1,0 +1,94 @@
+"""Cycle-level punch-signal fabric.
+
+The paper's punch signals are narrow, always-on control wires running
+alongside every mesh link (Fig. 5).  Each cycle a router's power-gating
+controller merges the wakeup signals it generates locally with the
+punch signals arriving from neighbors and relays the result — purely
+combinationally, so a punch crosses one link per cycle with **zero
+contention delay** (Sec. 4.1 step 5).
+
+This module simulates the fabric at the information level: each link
+carries the *set of targeted routers* the encoded punch signal denotes.
+:mod:`repro.core.punch_encoding` separately proves that these sets fit
+into the paper's 5-bit (X) and 2-bit (Y) encodings.
+
+Every punch that reaches a controller — as final target or as a relay
+hop — wakes that router if it is gated off and forewarns it that a
+packet arrives within the punch horizon (implicit notification of
+intermediate routers, Sec. 4.1 step 2).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Set, Tuple
+
+from ..noc.routing import XYRouting
+
+#: Signature of the controller-side punch sink: (router_id, cycle).
+PunchSink = Callable[[int, int], None]
+
+
+class PunchFabric:
+    """Contention-free multi-hop wakeup-signal network."""
+
+    def __init__(self, routing: XYRouting, on_punch: PunchSink) -> None:
+        self.routing = routing
+        self.num_nodes = routing.topology.num_nodes
+        #: Controller callback invoked for every router a punch touches.
+        self.on_punch = on_punch
+        #: Targets to be processed by each router at the *next* delivery.
+        self._pending: Dict[int, Set[int]] = {}
+        # --- statistics ---------------------------------------------------
+        #: Link-cycles on which a (merged) punch signal was transmitted;
+        #: feeds the punch-propagation energy overhead of Fig. 11.
+        self.link_transmissions = 0
+        #: Total targets delivered to their final router.
+        self.targets_delivered = 0
+
+    # ------------------------------------------------------------------
+    def send_local(self, router: int, targets: Iterable[int], cycle: int) -> None:
+        """Process locally generated wakeup targets at ``router``.
+
+        The local controller reacts in the same cycle (the punch wires
+        are driven combinationally from the router's own wakeup
+        requirements); relayed targets reach each neighbor one cycle
+        later.
+        """
+        self._process(router, targets, cycle)
+
+    def deliver(self, cycle: int) -> None:
+        """Deliver last cycle's relayed punches to their next routers."""
+        if not self._pending:
+            return
+        pending, self._pending = self._pending, {}
+        for router, targets in pending.items():
+            self._process(router, targets, cycle)
+
+    def pending_routers(self) -> List[int]:
+        """Routers with punch targets awaiting next-cycle delivery."""
+        return list(self._pending)
+
+    # ------------------------------------------------------------------
+    def _process(self, router: int, targets: Iterable[int], cycle: int) -> None:
+        """Wake ``router`` and relay every non-final target onward."""
+        touched = False
+        outgoing: Dict[int, Set[int]] = {}
+        for target in targets:
+            touched = True
+            if target == router:
+                self.targets_delivered += 1
+                continue
+            nxt = self.routing.next_hop(router, target)
+            assert nxt is not None
+            outgoing.setdefault(nxt, set()).add(target)
+        if touched:
+            # Implicit notification: any punch arriving at or passing
+            # through a router wakes it (Sec. 4.1 step 2).
+            self.on_punch(router, cycle)
+        for nxt, tset in outgoing.items():
+            self.link_transmissions += 1
+            bucket = self._pending.get(nxt)
+            if bucket is None:
+                self._pending[nxt] = tset
+            else:
+                bucket |= tset

@@ -1,0 +1,324 @@
+"""The four evaluated power-management schemes (paper Sec. 5).
+
+* :class:`NoPG` — baseline, routers always on.
+* :class:`ConvOptPG` — conventional power-gating optimized with the
+  idle timeout and the one-hop-early wakeup from look-ahead routing
+  (the strongest conventional baseline the paper compares against).
+* :class:`PowerPunchSignal` — Power Punch's multi-hop punch signals
+  only (no NI slack): wakeup control information stays ``punch_hops``
+  hops ahead of packets, merged contention-free.
+* :class:`PowerPunchPG` — the comprehensive scheme: multi-hop punch
+  signals plus both injection-node slacks of Sec. 4.2 (*slack 1*: punch
+  at the start of the NI delay; *slack 2*: wake the local router when a
+  resource access that will surely generate a packet begins).
+
+All power-gated schemes share the same controller substrate
+(:class:`repro.powergate.PowerGateController`) and differ only in when
+wakeup information is generated and how far ahead it travels — exactly
+the paper's framing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from ..noc.network import Network
+from ..noc.packet import Packet
+from ..noc.policy import AlwaysOnPolicy, PowerPolicy
+from ..powergate.controller import PowerGateController
+from .punch_fabric import PunchFabric
+
+
+class NoPG(AlwaysOnPolicy):
+    """Baseline without power-gating."""
+
+    name = "No-PG"
+
+
+class PowerGatedScheme(PowerPolicy):
+    """Shared machinery of all power-gated schemes."""
+
+    name = "PG-base"
+
+    def __init__(
+        self,
+        wakeup_latency: int = 8,
+        timeout: int = 4,
+        punch_hops: Optional[int] = None,
+        use_forewarning: bool = False,
+        slack1: bool = False,
+        slack2: bool = False,
+        slack2_window: int = 6,
+    ) -> None:
+        self.wakeup_latency = wakeup_latency
+        self.timeout = timeout
+        self._punch_hops = punch_hops
+        #: Whether punch arrivals open a no-sleep forewarning window
+        #: (Power Punch's accurate short-idle filtering, Sec. 4.3).
+        self.use_forewarning = use_forewarning
+        #: Send injection punches at message creation (start of NI delay).
+        self.slack1 = slack1
+        #: Honor early local-router notices from resource accesses.
+        self.slack2 = slack2
+        self.slack2_window = slack2_window
+        self.controllers: List[PowerGateController] = []
+        self.fabric: Optional[PunchFabric] = None
+        self._slack2_hold: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, network: Network) -> None:
+        """Derive punch parameters and build controllers/fabric for a network."""
+        self.network = network
+        cfg = network.config
+        if self._punch_hops is None:
+            # Just enough hop slack to cover the wakeup latency:
+            # a signal H hops ahead hides H * Trouter cycles (Sec. 3).
+            self.punch_hops = max(1, math.ceil(self.wakeup_latency / cfg.router_stages))
+        else:
+            self.punch_hops = self._punch_hops
+        self.expectation_window = (
+            self.punch_hops * cfg.hop_latency if self.use_forewarning else 0
+        )
+        self.controllers = [
+            PowerGateController(node, self.wakeup_latency, self.timeout)
+            for node in range(cfg.num_nodes)
+        ]
+        self.fabric = PunchFabric(network.routing, self._on_punch)
+        # Targeted-router lookups happen for every buffered head flit
+        # every cycle; memoize per (current, destination) at the fixed
+        # punch horizon.
+        ahead_cache: Dict[tuple, int] = {}
+        routing_ahead = network.routing.router_ahead
+        hops = self.punch_hops
+
+        def cached_ahead(current: int, destination: int, _hops: int) -> int:
+            key = (current, destination)
+            target = ahead_cache.get(key)
+            if target is None:
+                target = ahead_cache[key] = routing_ahead(
+                    current, destination, hops
+                )
+            return target
+
+        self._router_ahead = cached_ahead
+
+    def _on_punch(self, router: int, cycle: int) -> None:
+        self.controllers[router].request_wakeup(cycle, self.expectation_window)
+
+    # ------------------------------------------------------------------
+    # Availability / state queries
+    # ------------------------------------------------------------------
+    def is_router_available(self, router_id: int) -> bool:
+        """PG signal de-asserted for this router right now."""
+        return self.controllers[router_id].is_available
+
+    def is_router_available_by(self, router_id: int, by_cycle: int) -> bool:
+        """Whether the router will be powered on at ``by_cycle`` (ETA check)."""
+        return self.controllers[router_id].available_by(by_cycle)
+
+    def router_is_off(self, router_id: int) -> bool:
+        """Whether the router is currently gated off."""
+        return self.controllers[router_id].is_off
+
+    def router_is_waking(self, router_id: int) -> bool:
+        """Whether the router is mid-wakeup (PG still asserted)."""
+        return self.controllers[router_id].is_waking
+
+    # ------------------------------------------------------------------
+    # Per-cycle operation
+    # ------------------------------------------------------------------
+    def begin_cycle(self, cycle: int) -> None:
+        """Deliver punches, apply slack-2 holds, step every controller FSM."""
+        self.fabric.deliver(cycle)
+        if self._slack2_hold:
+            expired = []
+            for node, until in self._slack2_hold.items():
+                if cycle > until:
+                    expired.append(node)
+                else:
+                    self.controllers[node].request_wakeup(cycle, 0)
+            for node in expired:
+                del self._slack2_hold[node]
+        interfaces = self.network.interfaces
+        routers = self.network.routers
+        for node, controller in enumerate(self.controllers):
+            ni_wants = interfaces[node].wants_local_router(cycle)
+            if ni_wants:
+                # The NI's WU wire into its local PG controller.
+                controller.request_wakeup(cycle, 0)
+            controller.step(cycle, routers[node].datapath_empty(), ni_wants)
+
+    def end_cycle(self, cycle: int) -> None:
+        # Punch/WU wires are combinational functions of the wakeup
+        # requirements visible this cycle (Sec. 6.6(1)): regenerate them
+        # from every buffered head flit and every pending injection.
+        """Regenerate punch signals from this cycle's wakeup requirements."""
+        ahead = self._router_ahead
+        hops = self.punch_hops
+        fabric = self.fabric
+        for router in self.network.routers:
+            if not router._occupied:
+                continue
+            requirements = router.head_flit_requirements()
+            if not requirements:
+                continue
+            rid = router.router_id
+            targets = {ahead(rid, dest, hops) for _next, dest in requirements}
+            fabric.send_local(rid, targets, cycle)
+        self._generate_injection_punches(cycle)
+
+    def _generate_injection_punches(self, cycle: int) -> None:
+        """Injection-side wakeup generation; scheme-specific."""
+
+    # ------------------------------------------------------------------
+    # NI hooks
+    # ------------------------------------------------------------------
+    def on_injection_check(self, node: int, packet: Packet, cycle: int) -> None:
+        # Wakeup-issue point for schemes without NI slack: the packet
+        # "encounters" a powered-off local router (Fig. 9 semantics) if
+        # the router is not fully on when the NI checks availability,
+        # even when the wakeup wait itself ends up partially hidden.
+        """Record a blocked-router encounter at the availability check."""
+        if not self.controllers[node].is_available:
+            packet.blocked_routers.add(node)
+
+    def early_local_notice(self, node: int, cycle: int) -> None:
+        """Slack 2: wake/hold the local router ahead of a certain message."""
+        if not self.slack2:
+            return
+        until = cycle + self.slack2_window
+        if until > self._slack2_hold.get(node, -1):
+            self._slack2_hold[node] = until
+        self.controllers[node].request_wakeup(cycle, 0)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total_off_cycles(self) -> int:
+        """Sum of gated-off cycles across all routers."""
+        return sum(c.off_cycles for c in self.controllers)
+
+    def total_wake_events(self) -> int:
+        """Total wakeup events across all routers."""
+        return sum(c.wake_events for c in self.controllers)
+
+    def currently_off(self) -> int:
+        """Number of routers gated off right now."""
+        return sum(1 for c in self.controllers if c.is_off)
+
+
+class ConvOptPG(PowerGatedScheme):
+    """Optimized conventional power-gating (timeout + early wakeup).
+
+    Wakeup signals travel exactly one hop (the look-ahead routing
+    early-wakeup of [Matsutani et al.]); there is no multi-hop punch,
+    no forewarning window and no use of NI slack, so packets pay most
+    of the wakeup latency whenever they run into gated-off routers.
+    """
+
+    name = "ConvOpt-PG"
+
+    def __init__(self, wakeup_latency: int = 8, timeout: int = 4) -> None:
+        super().__init__(
+            wakeup_latency=wakeup_latency,
+            timeout=timeout,
+            punch_hops=1,
+            use_forewarning=False,
+            slack1=False,
+            slack2=False,
+        )
+
+    def _generate_injection_punches(self, cycle: int) -> None:
+        # Conventional PG only asserts the local WU when the NI checks
+        # availability; that wire is already modeled in begin_cycle via
+        # ``wants_local_router`` + ``request_wakeup``.
+        return
+
+
+class PowerPunchSignal(PowerGatedScheme):
+    """Power Punch with multi-hop punch signals only (no NI slack)."""
+
+    name = "PowerPunch-Signal"
+
+    def __init__(
+        self,
+        wakeup_latency: int = 8,
+        timeout: int = 4,
+        punch_hops: Optional[int] = None,
+    ) -> None:
+        super().__init__(
+            wakeup_latency=wakeup_latency,
+            timeout=timeout,
+            punch_hops=punch_hops,
+            use_forewarning=True,
+            slack1=False,
+            slack2=False,
+        )
+
+    def _generate_injection_punches(self, cycle: int) -> None:
+        # Punches for packets whose NI processing has completed (the
+        # availability-check point of Fig. 6 — no slack exploited).
+        ni_latency = self.network.config.ni_latency
+        ahead = self._router_ahead
+        hops = self.punch_hops
+        for ni in self.network.interfaces:
+            targets = None
+            for queue in ni.queues:
+                if queue:
+                    packet = queue[0]
+                    if cycle >= packet.created_at + ni_latency:
+                        if targets is None:
+                            targets = set()
+                        targets.add(ahead(ni.node, packet.destination, hops))
+            if targets:
+                self.fabric.send_local(ni.node, targets, cycle)
+
+
+class PowerPunchPG(PowerPunchSignal):
+    """Comprehensive Power Punch: punch signals + injection-node slack."""
+
+    name = "PowerPunch-PG"
+
+    def __init__(
+        self,
+        wakeup_latency: int = 8,
+        timeout: int = 4,
+        punch_hops: Optional[int] = None,
+        slack2_window: int = 6,
+    ) -> None:
+        PowerGatedScheme.__init__(
+            self,
+            wakeup_latency=wakeup_latency,
+            timeout=timeout,
+            punch_hops=punch_hops,
+            use_forewarning=True,
+            slack1=True,
+            slack2=True,
+            slack2_window=slack2_window,
+        )
+
+    def on_message_created(self, node: int, packet: Packet, cycle: int) -> None:
+        # Slack-1 wakeup issue point: if the local router is not fully
+        # on when the message enters the NI, the packet "encounters" a
+        # powered-off router (Fig. 9 semantics) even though the NI
+        # slack may hide most or all of the wakeup wait (Fig. 10).
+        """Slack-1 wakeup-issue point: count powered-off encounters here."""
+        if not self.controllers[node].is_available:
+            packet.blocked_routers.add(node)
+
+    def _generate_injection_punches(self, cycle: int) -> None:
+        # Slack 1: wakeup information is available as soon as the
+        # message enters the NI, so every queued packet punches —
+        # including those still inside the NI pipeline (Fig. 6).
+        ahead = self._router_ahead
+        hops = self.punch_hops
+        for ni in self.network.interfaces:
+            targets = None
+            for queue in ni.queues:
+                for packet in queue:
+                    if targets is None:
+                        targets = set()
+                    targets.add(ahead(ni.node, packet.destination, hops))
+            if targets:
+                self.fabric.send_local(ni.node, targets, cycle)

@@ -1,0 +1,6 @@
+"""Per-figure/table experiment harnesses (see DESIGN.md experiment index).
+
+Each module is runnable (``python -m repro.experiments.fig7_fig8``) and
+exposes ``run_*``/``report`` functions used by the pytest benchmarks.
+Modules are imported lazily to keep ``python -m`` invocations clean.
+"""

@@ -1,0 +1,190 @@
+"""Ablation studies for Power Punch design choices.
+
+Not figures from the paper, but sweeps over the design decisions its
+text argues for:
+
+* **punch horizon** (Sec. 4.1): fewer hops than ``ceil(Twakeup /
+  Trouter)`` leaks wakeup latency; more hops wake routers too early and
+  squander gated-off cycles ("sending wakeup signals with 5 hops or
+  more would be counter-productive");
+* **idle timeout** (Sec. 2.3): short timeouts gate more aggressively
+  but mis-filter short idle periods (BET = 10 cycles);
+* **injection slack decomposition** (Sec. 4.2): slack 1 (NI pipeline)
+  vs slack 2 (resource-access lead) contributions to hiding the local
+  router's wakeup;
+* **forewarning** (Sec. 4.3): punch signals double as precise
+  packet-arrival predictors; disabling that filter shows the
+  wake-thrash it prevents.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence, Tuple
+
+from ..core import PowerPunchPG, PowerPunchSignal
+from ..noc import Network, NoCConfig
+from ..power import EnergyModel
+from ..traffic import SyntheticTraffic
+from .common import format_table
+
+DEFAULT_LOAD = 0.01
+
+
+def _run(scheme, load=DEFAULT_LOAD, measurement=4000, seed=7, config=None):
+    network = Network(config or NoCConfig(), scheme)
+    traffic = SyntheticTraffic(network, "uniform_random", load, seed=seed)
+    model = EnergyModel()
+    traffic.run(1000)
+    snap = model.snapshot(network)
+    network.stats.measure_from = network.cycle
+    traffic.run(measurement)
+    energy = model.account(network, since=snap)
+    stats = network.stats
+    off = sum(c.off_cycles for c in scheme.controllers)
+    total = sum(
+        c.active_cycles + c.off_cycles + c.waking_cycles for c in scheme.controllers
+    )
+    return {
+        "latency": stats.avg_total_latency,
+        "wait": stats.avg_wakeup_wait,
+        "off_fraction": off / total if total else 0.0,
+        "wake_events": scheme.total_wake_events(),
+        "net_static": energy.net_static,
+    }
+
+
+# ----------------------------------------------------------------------
+def punch_hops_sweep(
+    hops_values: Sequence[int] = (1, 2, 3, 4),
+    wakeup_latency: int = 8,
+    measurement: int = 4000,
+) -> List[Tuple[int, dict]]:
+    """Latency/energy vs punch horizon (3-stage router, Twakeup=8)."""
+    return [
+        (
+            hops,
+            _run(
+                PowerPunchSignal(wakeup_latency=wakeup_latency, punch_hops=hops),
+                measurement=measurement,
+            ),
+        )
+        for hops in hops_values
+    ]
+
+
+def timeout_sweep(
+    timeouts: Sequence[int] = (2, 4, 8, 16), measurement: int = 4000
+) -> List[Tuple[int, dict]]:
+    """Idle-timeout sensitivity for the full Power Punch scheme."""
+    return [
+        (t, _run(PowerPunchPG(timeout=t), measurement=measurement)) for t in timeouts
+    ]
+
+
+def slack_decomposition(measurement: int = 4000) -> List[Tuple[str, dict]]:
+    """Contribution of each injection-node slack to hiding wakeups."""
+    signal_only = PowerPunchSignal()
+    slack1_only = PowerPunchPG()
+    slack1_only.slack2 = False
+    full = PowerPunchPG()
+    return [
+        ("punch signals only", _run(signal_only, measurement=measurement)),
+        ("+ slack 1 (NI pipeline)", _run(slack1_only, measurement=measurement)),
+        ("+ slack 2 (access lead)", _run(full, measurement=measurement)),
+    ]
+
+
+def bet_sweep(
+    bet_values: Sequence[int] = (5, 10, 20, 40), measurement: int = 4000
+) -> List[Tuple[int, dict]]:
+    """Break-even-time sensitivity (energy only).
+
+    BET scales the per-event power-gating overhead (Sec. 2.3 footnote:
+    one sleep/wake pair costs BET cycles of static energy), so larger
+    BETs erode net static savings without touching timing.  Both
+    schemes run the *same* simulation; only the energy accounting
+    changes.
+    """
+    from ..power import EnergyModel, PowerConstants
+
+    scheme = PowerPunchPG()
+    network = Network(NoCConfig(), scheme)
+    traffic = SyntheticTraffic(network, "uniform_random", DEFAULT_LOAD, seed=7)
+    traffic.run(1000 + measurement)
+    results = []
+    for bet in bet_values:
+        model = EnergyModel(PowerConstants(break_even_cycles=bet))
+        energy = model.account(network)
+        results.append(
+            (
+                bet,
+                {
+                    "latency": network.stats.avg_total_latency,
+                    "wait": network.stats.avg_wakeup_wait,
+                    "off_fraction": 0.0,
+                    "wake_events": scheme.total_wake_events(),
+                    "net_static": energy.net_static,
+                },
+            )
+        )
+    return results
+
+
+def forewarning_ablation(measurement: int = 4000) -> List[Tuple[str, dict]]:
+    """Punch-based short-idle filtering on vs off.
+
+    At the default 4-cycle timeout the per-cycle punch re-assertion
+    alone keeps routers from sleeping under an approaching packet (the
+    longest punch gap — a flit's 3 cycles in flight — is shorter than
+    the timeout), so the forewarning window is measured where it
+    actually bites: an aggressive 2-cycle timeout, where gaps would
+    otherwise cause wake-thrash.
+    """
+    with_filter = PowerPunchPG(timeout=2)
+    without = PowerPunchPG(timeout=2)
+    without.use_forewarning = False
+    return [
+        ("forewarning on", _run(with_filter, measurement=measurement)),
+        ("forewarning off", _run(without, measurement=measurement)),
+    ]
+
+
+# ----------------------------------------------------------------------
+def _table(title: str, rows: List[Tuple[object, dict]]) -> str:
+    return format_table(
+        ["config", "latency", "wait/pkt", "off %", "wakes", "net static (J)"],
+        [
+            [
+                key,
+                res["latency"],
+                res["wait"],
+                f"{res['off_fraction']:.1%}",
+                res["wake_events"],
+                f"{res['net_static']:.3e}",
+            ]
+            for key, res in rows
+        ],
+        title=title,
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """Run and print all ablation tables."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--measurement", type=int, default=4000)
+    args = parser.parse_args(argv)
+    m = args.measurement
+    print(_table("Ablation: punch horizon (Twakeup=8, 3-stage)", punch_hops_sweep(measurement=m)))
+    print()
+    print(_table("Ablation: idle timeout", timeout_sweep(measurement=m)))
+    print()
+    print(_table("Ablation: injection slack decomposition", slack_decomposition(measurement=m)))
+    print()
+    print(_table("Ablation: punch forewarning filter", forewarning_ablation(measurement=m)))
+    print()
+    print(_table("Ablation: break-even time (energy accounting only)", bet_sweep(measurement=m)))
+
+
+if __name__ == "__main__":
+    main()

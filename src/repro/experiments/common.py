@@ -1,0 +1,212 @@
+"""Shared experiment plumbing: scheme registry, runners, table printing."""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core import ConvOptPG, NoPG, PowerPunchPG, PowerPunchSignal
+from ..noc import Network, NoCConfig
+from ..power import EnergyModel
+from ..system import Chip, get_profile
+from ..traffic import SyntheticTraffic, measure
+
+#: The four evaluated schemes, in the paper's order (Sec. 5).
+SCHEMES = {
+    "No-PG": NoPG,
+    "ConvOpt-PG": ConvOptPG,
+    "PowerPunch-Signal": PowerPunchSignal,
+    "PowerPunch-PG": PowerPunchPG,
+}
+
+SCHEME_ORDER = list(SCHEMES)
+
+
+def make_scheme(name: str, **kwargs):
+    """Instantiate a scheme by registry name (kwargs ignored for No-PG)."""
+    cls = SCHEMES[name]
+    if cls is NoPG:
+        return cls()
+    return cls(**kwargs)
+
+
+@dataclass
+class RunRecord:
+    """One (workload, scheme) measurement."""
+
+    workload: str
+    scheme: str
+    execution_time: int
+    avg_packet_latency: float
+    avg_total_latency: float
+    avg_blocked_routers: float
+    avg_wakeup_wait: float
+    injection_rate: float
+    dynamic_energy: float
+    static_energy: float
+    overhead_energy: float
+    cycles: int
+
+    @property
+    def net_static_energy(self) -> float:
+        """Static energy charged with the PG overhead (Sec. 6.3 fairness)."""
+        return self.static_energy + self.overhead_energy
+
+    @property
+    def total_energy(self) -> float:
+        """Dynamic + static + overhead energy of the run."""
+        return self.dynamic_energy + self.net_static_energy
+
+
+def run_parsec(
+    benchmark: str,
+    scheme_name: str,
+    instructions: int = 1500,
+    seed: int = 1,
+    config: Optional[NoCConfig] = None,
+    **scheme_kwargs,
+) -> RunRecord:
+    """Run one PARSEC-profile workload under one scheme."""
+    config = config or NoCConfig()
+    scheme = make_scheme(scheme_name, **scheme_kwargs)
+    chip = Chip(
+        config,
+        scheme,
+        get_profile(benchmark),
+        instructions_per_core=instructions,
+        seed=seed,
+        benchmark=benchmark,
+    )
+    result = chip.run(max_cycles=8_000_000)
+    energy = EnergyModel().account(chip.network)
+    return RunRecord(
+        workload=benchmark,
+        scheme=scheme_name,
+        execution_time=result.execution_time,
+        avg_packet_latency=result.avg_packet_latency,
+        avg_total_latency=result.avg_total_latency,
+        avg_blocked_routers=result.avg_blocked_routers,
+        avg_wakeup_wait=result.avg_wakeup_wait,
+        injection_rate=result.injection_rate,
+        dynamic_energy=energy.dynamic,
+        static_energy=energy.static,
+        overhead_energy=energy.overhead,
+        cycles=result.cycles,
+    )
+
+
+def run_synthetic(
+    pattern: str,
+    injection_rate: float,
+    scheme_name: str,
+    warmup: int = 1000,
+    measurement: int = 6000,
+    seed: int = 7,
+    config: Optional[NoCConfig] = None,
+    drain: bool = True,
+    **scheme_kwargs,
+) -> RunRecord:
+    """Run one open-loop synthetic-traffic point under one scheme."""
+    config = config or NoCConfig()
+    scheme = make_scheme(scheme_name, **scheme_kwargs)
+    network = Network(config, scheme)
+    traffic = SyntheticTraffic(network, pattern, injection_rate, seed=seed)
+    energy_model = EnergyModel()
+    traffic.run(warmup)
+    snapshot = energy_model.snapshot(network)
+    network.stats.measure_from = network.cycle
+    traffic.run(measurement)
+    energy = energy_model.account(network, since=snapshot)
+    if drain:
+        traffic.drain()
+    stats = network.stats
+    return RunRecord(
+        workload=f"{pattern}@{injection_rate}",
+        scheme=scheme_name,
+        execution_time=network.cycle,
+        avg_packet_latency=stats.avg_packet_latency,
+        avg_total_latency=stats.avg_total_latency,
+        avg_blocked_routers=stats.avg_blocked_routers,
+        avg_wakeup_wait=stats.avg_wakeup_wait,
+        injection_rate=stats.throughput(config.num_nodes),
+        dynamic_energy=energy.dynamic,
+        static_energy=energy.static,
+        overhead_energy=energy.overhead,
+        cycles=energy.cycles,
+    )
+
+
+# ----------------------------------------------------------------------
+# Result caching (lets the per-figure scripts share one PARSEC sweep)
+# ----------------------------------------------------------------------
+def save_records(records: Sequence[RunRecord], path: str) -> None:
+    """Persist run records as JSON."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump([asdict(r) for r in records], fh, indent=1)
+
+
+def load_records(path: str) -> List[RunRecord]:
+    """Load run records saved by :func:`save_records`."""
+    with open(path) as fh:
+        return [RunRecord(**row) for row in json.load(fh)]
+
+
+def save_csv(records: Sequence[RunRecord], path: str) -> None:
+    """Write records as CSV (one row per run) for external plotting."""
+    import csv
+
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    if not records:
+        open(path, "w").close()
+        return
+    fields = list(asdict(records[0]))
+    with open(path, "w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=fields)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(asdict(record))
+
+
+# ----------------------------------------------------------------------
+# Table formatting
+# ----------------------------------------------------------------------
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rendered = [[_fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rendered)) if rendered else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def geomean_ratio(values: Sequence[float]) -> float:
+    """Geometric mean of a sequence of ratios."""
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values)) if values else 0.0
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    return statistics.mean(values) if values else 0.0

@@ -1,0 +1,134 @@
+"""Figure 12: latency and router static power across the full load range.
+
+Three synthetic patterns (uniform random, bit-complement, transpose)
+are swept from near-zero load toward saturation under No-PG,
+ConvOpt-PG and PowerPunch-PG, reporting average network latency and
+average net router static power (watts) over the measurement window.
+
+Expected shape (paper Sec. 6.4): ConvOpt-PG shows the "power-gating
+curve" — a large latency penalty at low load that shrinks as more
+routers stay on, then rises again toward saturation — while
+PowerPunch-PG tracks No-PG across the whole range and reaches the same
+saturation throughput.  Both PG schemes save most static power at low
+load; ConvOpt-PG may be slightly better at medium load, at a large
+performance cost.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Dict, List, Optional, Sequence
+
+from .common import RunRecord, format_table, run_synthetic
+
+#: Sweep loads per pattern (flits/node/cycle).  Transpose and
+#: bit-complement saturate earlier than uniform random (Fig. 12 axes).
+DEFAULT_LOADS = {
+    "uniform_random": [0.005, 0.01, 0.02, 0.05, 0.10, 0.15, 0.20],
+    "bit_complement": [0.005, 0.01, 0.02, 0.04, 0.08, 0.12],
+    "transpose": [0.005, 0.01, 0.02, 0.04, 0.08, 0.12],
+}
+
+_SCHEMES = ["No-PG", "ConvOpt-PG", "PowerPunch-PG"]
+
+
+def run_sweep(
+    pattern: str,
+    loads: Sequence[float],
+    warmup: int = 1000,
+    measurement: int = 5000,
+    schemes: Sequence[str] = tuple(_SCHEMES),
+    verbose: bool = True,
+) -> List[RunRecord]:
+    """Sweep one traffic pattern across loads for the Fig. 12 schemes."""
+    records = []
+    for load in loads:
+        for scheme in schemes:
+            record = run_synthetic(
+                pattern,
+                load,
+                scheme,
+                warmup=warmup,
+                measurement=measurement,
+                drain=False,
+            )
+            records.append(record)
+            if verbose:
+                print(
+                    f"[fig12] {pattern:15s} load={load:.3f} {scheme:15s} "
+                    f"lat={record.avg_total_latency:7.2f} "
+                    f"P_static={record.static_power_w():.3f} W"
+                )
+    return records
+
+
+def _static_power(record: RunRecord) -> float:
+    from ..power import DEFAULT_CONSTANTS
+
+    seconds = record.cycles / DEFAULT_CONSTANTS.frequency
+    return record.net_static_energy / seconds if seconds else 0.0
+
+
+# Attach as a method-like helper for convenience.
+RunRecord.static_power_w = _static_power  # type: ignore[attr-defined]
+
+
+def report(pattern: str, records: List[RunRecord]) -> str:
+    """Format the latency and static-power tables for one pattern."""
+    by_load: Dict[float, Dict[str, RunRecord]] = {}
+    for r in records:
+        load = float(r.workload.split("@")[1])
+        by_load.setdefault(load, {})[r.scheme] = r
+    lat_rows = []
+    pow_rows = []
+    for load in sorted(by_load):
+        per = by_load[load]
+        lat_rows.append(
+            [load] + [per[s].avg_total_latency for s in _SCHEMES if s in per]
+        )
+        pow_rows.append(
+            [load] + [per[s].static_power_w() for s in _SCHEMES if s in per]
+        )
+    out = [
+        format_table(
+            ["load"] + _SCHEMES,
+            lat_rows,
+            title=f"Figure 12 ({pattern}): average packet latency (cycles)",
+        ),
+        "",
+        format_table(
+            ["load"] + _SCHEMES,
+            pow_rows,
+            title=f"Figure 12 ({pattern}): net router static power (W)",
+        ),
+    ]
+    return "\n".join(out)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--patterns", nargs="*", default=list(DEFAULT_LOADS), help="patterns to sweep"
+    )
+    parser.add_argument("--measurement", type=int, default=5000)
+    parser.add_argument("--csv", default=None, help="export all rows as CSV")
+    args = parser.parse_args(argv)
+    all_records = []
+    for pattern in args.patterns:
+        records = run_sweep(
+            pattern, DEFAULT_LOADS[pattern], measurement=args.measurement
+        )
+        all_records.extend(records)
+        print()
+        print(report(pattern, records))
+        print()
+    if args.csv:
+        from .common import save_csv
+
+        save_csv(all_records, args.csv)
+        print(f"saved CSV to {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,110 @@
+"""Full PARSEC x scheme sweep shared by Figures 7-11.
+
+Running the 8-benchmark, 4-scheme matrix takes a few minutes; the
+result list is cached to JSON so the per-figure scripts can re-use it:
+
+    python -m repro.experiments.parsec_suite --out results/parsec.json
+    python -m repro.experiments.fig7_fig8 --cache results/parsec.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence, Tuple
+
+from ..system import PARSEC_BENCHMARKS
+from .common import SCHEME_ORDER, RunRecord, load_records, run_parsec, save_records
+
+
+def _run_one(job: Tuple[str, str, int, int]) -> RunRecord:
+    bench, scheme, instructions, seed = job
+    return run_parsec(bench, scheme, instructions=instructions, seed=seed)
+
+
+def run_suite(
+    benchmarks: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    instructions: int = 1500,
+    seed: int = 1,
+    verbose: bool = True,
+    workers: int = 1,
+) -> List[RunRecord]:
+    """Run the benchmark x scheme matrix.
+
+    Every (benchmark, scheme) run is independent and deterministic, so
+    with ``workers > 1`` the matrix fans out over a process pool;
+    results come back in the same benchmark-major order either way.
+    """
+    benchmarks = list(benchmarks or PARSEC_BENCHMARKS)
+    schemes = list(schemes or SCHEME_ORDER)
+    jobs = [
+        (bench, scheme, instructions, seed)
+        for bench in benchmarks
+        for scheme in schemes
+    ]
+    if workers > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            records = list(pool.map(_run_one, jobs))
+    else:
+        records = [_run_one(job) for job in jobs]
+    if verbose:
+        for record in records:
+            print(
+                f"[suite] {record.workload:13s} {record.scheme:18s} "
+                f"exec={record.execution_time:7d} "
+                f"lat={record.avg_total_latency:6.2f} "
+                f"blk={record.avg_blocked_routers:5.2f} "
+                f"wait={record.avg_wakeup_wait:6.2f}"
+            )
+    return records
+
+
+def suite_records(
+    cache: Optional[str],
+    instructions: int = 1500,
+    benchmarks: Optional[Sequence[str]] = None,
+    verbose: bool = True,
+) -> List[RunRecord]:
+    """Load records from ``cache`` if possible, else run and store them."""
+    if cache:
+        try:
+            return load_records(cache)
+        except (OSError, ValueError):
+            pass
+    records = run_suite(
+        benchmarks=benchmarks, instructions=instructions, verbose=verbose
+    )
+    if cache:
+        save_records(records, cache)
+    return records
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point: run the matrix and write the JSON cache."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="results/parsec_suite.json")
+    parser.add_argument("--csv", default=None, help="also export rows as CSV")
+    parser.add_argument("--instructions", type=int, default=1500)
+    parser.add_argument("--benchmarks", nargs="*", default=None)
+    parser.add_argument(
+        "--workers", type=int, default=1, help="process-pool fan-out (runs are independent)"
+    )
+    args = parser.parse_args(argv)
+    records = run_suite(
+        benchmarks=args.benchmarks,
+        instructions=args.instructions,
+        workers=args.workers,
+    )
+    save_records(records, args.out)
+    print(f"saved {len(records)} records to {args.out}")
+    if args.csv:
+        from .common import save_csv
+
+        save_csv(records, args.csv)
+        print(f"saved CSV to {args.csv}")
+
+
+if __name__ == "__main__":
+    main()

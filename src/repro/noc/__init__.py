@@ -1,0 +1,43 @@
+"""NoC simulator substrate: mesh topology, XY routing, VC wormhole routers."""
+
+from .config import NoCConfig
+from .network import Network
+from .network_interface import NetworkInterface
+from .packet import (
+    CONTROL_PACKET_FLITS,
+    DATA_PACKET_FLITS,
+    NUM_VNETS,
+    Flit,
+    Packet,
+    VirtualNetwork,
+    control_packet,
+    data_packet,
+)
+from .policy import AlwaysOnPolicy, PowerPolicy
+from .router import Router
+from .routing import XYRouting
+from .stats import NetworkStats
+from .topology import ALL_DIRECTIONS, MESH_DIRECTIONS, Direction, MeshTopology
+
+__all__ = [
+    "ALL_DIRECTIONS",
+    "AlwaysOnPolicy",
+    "CONTROL_PACKET_FLITS",
+    "DATA_PACKET_FLITS",
+    "Direction",
+    "Flit",
+    "MESH_DIRECTIONS",
+    "MeshTopology",
+    "Network",
+    "NetworkInterface",
+    "NetworkStats",
+    "NoCConfig",
+    "NUM_VNETS",
+    "Packet",
+    "PowerPolicy",
+    "Router",
+    "VirtualNetwork",
+    "XYRouting",
+    "control_packet",
+    "data_packet",
+]

@@ -1,0 +1,83 @@
+"""NoC configuration.
+
+Default values follow the paper's Table 2 and Section 5: 8x8 mesh,
+XY routing, wormhole switching with credit-based VC flow control,
+3 virtual networks with 2 VCs each (3-flit data VCs on the response
+network, 1-flit control VCs elsewhere), 128-bit links, 3-stage
+(speculative) or 4-stage router pipelines, and a compact 3-cycle
+network interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from .packet import NUM_VNETS, VirtualNetwork
+
+
+@dataclass
+class NoCConfig:
+    """Structural and timing parameters of the simulated NoC."""
+
+    width: int = 8
+    height: int = 8
+    #: Router pipeline depth: 4 (BW/VA/SA/ST, Fig. 3a) or 3 (speculative
+    #: SA merged with VA, Fig. 3b).
+    router_stages: int = 3
+    #: Link traversal latency in cycles.
+    link_latency: int = 1
+    #: Virtual channels per virtual network.
+    vcs_per_vnet: int = 2
+    #: Buffer depth (flits) for data VCs (response network).
+    data_vc_depth: int = 3
+    #: Buffer depth (flits) for control VCs (request/forward networks).
+    control_vc_depth: int = 1
+    #: Network-interface processing latency in cycles ("all the NI
+    #: operations are packed compactly in three cycles", Sec. 5).
+    ni_latency: int = 3
+    #: Maximum packets buffered per VN queue in each NI (0 = unbounded).
+    ni_queue_capacity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.router_stages not in (3, 4):
+            raise ValueError("router_stages must be 3 or 4")
+        if self.vcs_per_vnet < 1:
+            raise ValueError("need at least one VC per virtual network")
+        if self.link_latency != 1:
+            raise ValueError("only single-cycle links are supported")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Total node count (width x height)."""
+        return self.width * self.height
+
+    @property
+    def num_vcs(self) -> int:
+        """Total VCs per input port across all virtual networks."""
+        return NUM_VNETS * self.vcs_per_vnet
+
+    def vc_depth(self, vnet: VirtualNetwork) -> int:
+        """Buffer depth of VCs belonging to ``vnet``."""
+        if vnet == VirtualNetwork.RESPONSE:
+            return self.data_vc_depth
+        return self.control_vc_depth
+
+    def vnet_of_vc(self, vc: int) -> VirtualNetwork:
+        """Virtual network a flat VC index belongs to."""
+        return VirtualNetwork(vc // self.vcs_per_vnet)
+
+    def vcs_of_vnet(self, vnet: VirtualNetwork) -> range:
+        """Flat VC indices belonging to ``vnet``."""
+        start = int(vnet) * self.vcs_per_vnet
+        return range(start, start + self.vcs_per_vnet)
+
+    @property
+    def hop_latency(self) -> int:
+        """Per-hop latency of a packet: Trouter + Tlink (Sec. 3)."""
+        return self.router_stages + self.link_latency
+
+    def depths_by_vc(self) -> Dict[int, int]:
+        """Buffer depth for each flat VC index."""
+        return {vc: self.vc_depth(self.vnet_of_vc(vc)) for vc in range(self.num_vcs)}

@@ -1,0 +1,266 @@
+"""Cycle-driven network simulation kernel.
+
+Assembles routers, links and network interfaces over a mesh topology
+and advances them cycle by cycle.  The kernel owns all cross-component
+event queues (flits on links, credits in flight) so routers and NIs
+stay simple and synchronous.
+
+Per-cycle ordering:
+
+1. deliver flits that finished their link traversal (BW this cycle);
+2. deliver returning credits;
+3. power policy ``begin_cycle`` (punch-fabric propagation, PG
+   controller FSM updates, sleep/wake decisions);
+4. NIs attempt injection (availability checks fire WU/punch hooks);
+5. all routers run VC allocation, then all run switch allocation
+   (VA-then-SA ordering inside one cycle is what permits the 3-stage
+   router's speculative SA);
+6. power policy ``end_cycle`` (punch-signal generation from the
+   wakeup requirements visible this cycle, energy accounting).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, DefaultDict, Dict, List, Optional, Tuple
+
+from .config import NoCConfig
+from .network_interface import NetworkInterface
+from .packet import Flit, Packet
+from .policy import AlwaysOnPolicy, PowerPolicy
+from .router import Router
+from .routing import XYRouting
+from .stats import NetworkStats
+from .topology import Direction, MeshTopology
+
+#: Cycles from a switch-allocation grant until the flit is buffered
+#: downstream: ST (1) + link (1) + BW in the arrival cycle.
+_SA_TO_ARRIVAL = 3
+#: Cycles from a switch-allocation grant until the freed slot's credit
+#: is visible upstream.
+_SA_TO_CREDIT = 2
+#: Cycles from NI flit send until it is buffered in the local port.
+_NI_TO_ARRIVAL = 1
+
+
+class Network:
+    """A complete mesh NoC instance."""
+
+    def __init__(
+        self,
+        config: NoCConfig,
+        policy: Optional[PowerPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.topology = MeshTopology(config.width, config.height)
+        self.routing = XYRouting(self.topology)
+        self.policy = policy if policy is not None else AlwaysOnPolicy()
+        self.cycle = 0
+        self.stats = NetworkStats()
+
+        self.routers: List[Router] = [
+            Router(node, config, self.routing) for node in range(config.num_nodes)
+        ]
+        for router in self.routers:
+            for direction, neighbor in self.topology.neighbors(router.router_id):
+                router.connected[direction] = neighbor
+
+        self.interfaces: List[NetworkInterface] = [
+            NetworkInterface(node, config, self.routers[node], self.policy, self._ni_send)
+            for node in range(config.num_nodes)
+        ]
+
+        #: Flit counts per (router, outgoing direction), LOCAL = ejection.
+        self.link_counts: List[Dict[Direction, int]] = [
+            {d: 0 for d in Direction} for _ in range(config.num_nodes)
+        ]
+
+        # Event queues keyed by delivery cycle.
+        self._flit_events: DefaultDict[int, List[Tuple[int, Direction, int, Flit]]] = (
+            defaultdict(list)
+        )
+        self._credit_events: DefaultDict[int, List[Tuple[int, Direction, int]]] = (
+            defaultdict(list)
+        )
+        self._eject_events: DefaultDict[int, List[Tuple[int, Flit]]] = defaultdict(list)
+        self.policy.attach(self)
+
+    # ------------------------------------------------------------------
+    # Producer-facing API
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        """Hand a freshly created message to its source NI this cycle."""
+        self.interfaces[packet.source].enqueue(packet, self.cycle)
+        self.stats.record_injection(packet)
+
+    def add_delivery_listener(self, listener: Callable[[Packet, int], None]) -> None:
+        """Register a callback fired for every delivered packet."""
+        for ni in self.interfaces:
+            ni.add_eject_listener(listener)
+
+    def deliver_out_of_band(self, packet: Packet, cycle: int) -> None:
+        """Complete a packet that bypassed the mesh datapath.
+
+        Used by schemes with auxiliary transport (e.g. the NoRD-like
+        bypass ring): records the delivery statistics and fires the
+        destination NI's delivery listeners exactly as a normal
+        ejection would.
+        """
+        packet.delivered_at = cycle
+        self.stats.record_delivery(
+            packet, self.topology.hop_distance(packet.source, packet.destination)
+        )
+        for listener in self.interfaces[packet.destination]._eject_listeners:
+            listener(packet, cycle)
+
+    def in_flight_packets(self) -> int:
+        """Packets created but not yet delivered (NI queues + network)."""
+        pending = sum(ni.pending_packets() for ni in self.interfaces)
+        buffered_heads = sum(r.buffered_flits() for r in self.routers)
+        flying = sum(len(v) for v in self._flit_events.values())
+        return pending + buffered_heads + flying
+
+    def is_drained(self) -> bool:
+        """Whether no packet, flit, credit or policy work is outstanding."""
+        if any(ni.pending_packets() for ni in self.interfaces):
+            return False
+        if any(not r.datapath_empty() for r in self.routers):
+            return False
+        if any(self._flit_events.values()):
+            return False
+        if any(self._eject_events.values()):
+            return False
+        if any(self._credit_events.values()):
+            return False
+        return self.policy.pending_work() == 0
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+    def run(self, cycles: int) -> None:
+        """Advance the network a fixed number of cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    def run_until_drained(self, max_cycles: int = 1_000_000) -> None:
+        """Advance until every injected packet is delivered."""
+        deadline = self.cycle + max_cycles
+        while not self.is_drained():
+            if self.cycle >= deadline:
+                raise RuntimeError(
+                    f"network failed to drain within {max_cycles} cycles"
+                )
+            self.step()
+
+    def step(self) -> None:
+        """Advance one cycle (see module docstring for phase order)."""
+        cycle = self.cycle
+        self._deliver_flits(cycle)
+        self._deliver_credits(cycle)
+        self.policy.begin_cycle(cycle)
+        for ni in self.interfaces:
+            if ni.streams or ni.queues[0] or ni.queues[1] or ni.queues[2]:
+                ni.step(cycle)
+        # A flit granted SA this cycle lands downstream _SA_TO_ARRIVAL
+        # cycles later; a waking router that completes by then may be
+        # used (see PowerPolicy.is_router_available_by).
+        available_by = self.policy.is_router_available_by
+        arrival_cycle = cycle + _SA_TO_ARRIVAL
+
+        def is_available(router_id: int) -> bool:
+            return available_by(router_id, arrival_cycle)
+
+        busy = [router for router in self.routers if router._occupied]
+        for router in busy:
+            router.do_vc_allocation(cycle)
+        for router in busy:
+            self._run_switch_allocation(router, cycle, is_available)
+        self.policy.end_cycle(cycle)
+        self.stats.cycles = cycle + 1
+        self.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deliver_flits(self, cycle: int) -> None:
+        events = self._flit_events.pop(cycle, None)
+        if events:
+            for router_id, direction, vc, flit in events:
+                router = self.routers[router_id]
+                router.incoming_in_flight -= 1
+                router.receive_flit(direction, vc, flit, cycle)
+        ejections = self._eject_events.pop(cycle, None)
+        if ejections:
+            for node, flit in ejections:
+                self.interfaces[node].eject_flit(flit, cycle)
+                if flit.is_tail:
+                    packet = flit.packet
+                    self.stats.record_delivery(
+                        packet,
+                        self.topology.hop_distance(packet.source, packet.destination),
+                    )
+
+    def _deliver_credits(self, cycle: int) -> None:
+        events = self._credit_events.pop(cycle, None)
+        if not events:
+            return
+        for router_id, direction, vc in events:
+            if router_id < 0:
+                # Credit destined for an NI (local-port slot freed).
+                self.interfaces[-router_id - 1].credit_from_router(vc)
+            else:
+                self.routers[router_id].return_credit(direction, vc)
+
+    def _ni_send(self, node: int, vc: int, flit: Flit, cycle: int) -> None:
+        router = self.routers[node]
+        router.incoming_in_flight += 1
+        self._flit_events[cycle + _NI_TO_ARRIVAL].append(
+            (node, Direction.LOCAL, vc, flit)
+        )
+
+    def _run_switch_allocation(
+        self, router: Router, cycle: int, is_available: Callable[[int], bool]
+    ) -> None:
+        def depart(
+            flit: Flit,
+            in_dir: Direction,
+            in_vc: int,
+            out_dir: Direction,
+            out_vc: int,
+        ) -> None:
+            self.stats.router_traversals += 1
+            self.link_counts[router.router_id][out_dir] += 1
+            self._schedule_credit_return(router, in_dir, in_vc, cycle)
+            if out_dir == Direction.LOCAL:
+                self._eject_events[cycle + 1].append((router.router_id, flit))
+            else:
+                neighbor = router.connected[out_dir]
+                assert neighbor is not None
+                self.stats.link_traversals += 1
+                self.routers[neighbor].incoming_in_flight += 1
+                self._flit_events[cycle + _SA_TO_ARRIVAL].append(
+                    (neighbor, out_dir.opposite, out_vc, flit)
+                )
+
+        def note_blocked(neighbor: int, flit: Flit) -> None:
+            packet = flit.packet
+            packet.blocked_routers.add(neighbor)
+            packet.wakeup_wait_cycles += 1
+            self.policy.note_blocked(router.router_id, neighbor, packet, cycle)
+
+        router.do_switch_allocation(cycle, is_available, depart, note_blocked)
+
+    def _schedule_credit_return(
+        self, router: Router, in_dir: Direction, in_vc: int, cycle: int
+    ) -> None:
+        if in_dir == Direction.LOCAL:
+            # Encode NI targets as negative ids.
+            self._credit_events[cycle + _SA_TO_CREDIT].append(
+                (-router.router_id - 1, Direction.LOCAL, in_vc)
+            )
+        else:
+            upstream = router.connected[in_dir]
+            assert upstream is not None
+            self._credit_events[cycle + _SA_TO_CREDIT].append(
+                (upstream, in_dir.opposite, in_vc)
+            )

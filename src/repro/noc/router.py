@@ -1,0 +1,257 @@
+"""Wormhole router with virtual channels and credit flow control.
+
+Timing model (paper Sec. 3, Fig. 3): a flit written into an input
+buffer at cycle ``t`` performs BW during ``t``.  For the 4-stage
+pipeline it performs VA at ``t+1``, SA at ``t+2`` and ST at ``t+3``;
+the 3-stage pipeline speculatively performs VA and SA together at
+``t+1`` and ST at ``t+2``.  With a one-cycle link this yields exactly
+``Trouter + Tlink`` cycles per hop.  VA and SA are separable allocators
+with round-robin priority.
+
+A router never forwards a flit toward a neighbor whose PG signal is
+asserted (gated off or waking); the stall is reported to the power
+policy so schemes can assert wakeup signals and so the Fig. 9/10
+blocking statistics can be collected.
+
+For simulation speed the router keeps the set of currently occupied
+VCs (``_occupied``) so per-cycle work scales with activity, not with
+the 30 VCs per router.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .buffers import InputPort, OutputPort, VCState, VirtualChannel
+from .config import NoCConfig
+from .packet import Flit
+from .routing import XYRouting
+from .topology import ALL_DIRECTIONS, Direction
+
+#: Callback signature used to hand a departing flit to the network
+#: kernel: (flit, in_direction, in_vc, out_direction, out_vc).
+DepartureSink = Callable[[Flit, Direction, int, Direction, int], None]
+
+
+class Router:
+    """One mesh router."""
+
+    def __init__(
+        self,
+        router_id: int,
+        config: NoCConfig,
+        routing: XYRouting,
+    ) -> None:
+        self.router_id = router_id
+        self.config = config
+        self.routing = routing
+        depths = config.depths_by_vc()
+        self.input_ports: Dict[Direction, InputPort] = {
+            d: InputPort(d, depths) for d in ALL_DIRECTIONS
+        }
+        self.output_ports: Dict[Direction, OutputPort] = {
+            d: OutputPort(d, depths) for d in ALL_DIRECTIONS
+        }
+        #: Adjacent router id per direction (None at mesh edges);
+        #: LOCAL maps to this router itself.  Filled in by the network.
+        self.connected: Dict[Direction, Optional[int]] = {
+            d: None for d in ALL_DIRECTIONS
+        }
+        self.connected[Direction.LOCAL] = router_id
+        #: Flits currently flying toward this router (sent but not yet
+        #: buffered); used for the sleep-safety check.
+        self.incoming_in_flight = 0
+        #: Switch-allocation round-robin pointer per output direction.
+        self._sa_out_rr: Dict[Direction, int] = {d: 0 for d in ALL_DIRECTIONS}
+        #: Non-empty input VCs (the per-cycle working set).  A dict is
+        #: used as an insertion-ordered set so iteration order — and
+        #: therefore arbitration and the whole simulation — is
+        #: deterministic.
+        self._occupied: Dict[VirtualChannel, None] = {}
+
+    # ------------------------------------------------------------------
+    # Datapath state queries
+    # ------------------------------------------------------------------
+    @property
+    def is_idle(self) -> bool:
+        """No buffered flits and nothing in flight toward this router."""
+        return not self._occupied and not self.incoming_in_flight
+
+    def datapath_empty(self) -> bool:
+        """True when all input buffers are empty and nothing is in flight.
+
+        This is the power-gating controller's sleep precondition
+        (Sec. 2.2: input buffers, output registers and crossbar empty;
+        the in-flight check subsumes the paper's mandatory two-cycle
+        timeout that lets flits already on links land safely).
+        """
+        return not self._occupied and not self.incoming_in_flight
+
+    def buffered_flits(self) -> int:
+        """Total flits buffered across all input VCs."""
+        return sum(vc.occupancy for vc in self._occupied)
+
+    # ------------------------------------------------------------------
+    # Flit reception
+    # ------------------------------------------------------------------
+    def receive_flit(
+        self, direction: Direction, vc_index: int, flit: Flit, cycle: int
+    ) -> None:
+        """Buffer an arriving flit (its BW stage is this cycle)."""
+        vc = self.input_ports[direction].vcs[vc_index]
+        was_empty = vc.is_empty
+        vc.push(flit, cycle)
+        self._occupied[vc] = None
+        if was_empty and flit.is_head:
+            self._activate_front(vc, cycle)
+
+    def _activate_front(self, vc: VirtualChannel, cycle: int) -> None:
+        """Start VA for the head flit now at the front of ``vc``."""
+        head = vc.front
+        assert head is not None and head.is_head
+        vc.state = VCState.WAIT_VA
+        vc.route = self.routing.output_direction(
+            self.router_id, head.packet.destination
+        )
+        vc.out_vc = None
+        vc.va_eligible_at = max(cycle + 1, vc.front_arrival() + 1)
+
+    # ------------------------------------------------------------------
+    # Virtual-channel allocation
+    # ------------------------------------------------------------------
+    def do_vc_allocation(self, cycle: int) -> None:
+        """Grant free downstream VCs to head flits in WAIT_VA state."""
+        for vc in self._occupied:
+            if vc.state is not VCState.WAIT_VA or cycle < vc.va_eligible_at:
+                continue
+            out_port = self.output_ports[vc.route]
+            vnet = self.config.vnet_of_vc(vc.vc_index)
+            candidate = out_port.free_vc_in(self.config.vcs_of_vnet(vnet))
+            if candidate is None:
+                continue
+            out_port.owner[candidate] = (vc.port_direction, vc.vc_index)
+            out_port.vc_rr_pointer = (candidate + 1) % len(out_port.credits)
+            vc.out_vc = candidate
+            vc.state = VCState.ACTIVE
+            # 4-stage routers separate VA and SA; the 3-stage router
+            # speculates SA in the same cycle as VA (Fig. 3b).
+            vc.sa_eligible_at = cycle + (1 if self.config.router_stages == 4 else 0)
+
+    # ------------------------------------------------------------------
+    # Switch allocation + switch/link traversal
+    # ------------------------------------------------------------------
+    def do_switch_allocation(
+        self,
+        cycle: int,
+        is_available: Callable[[int], bool],
+        depart: DepartureSink,
+        note_blocked: Callable[[int, Flit], None],
+    ) -> int:
+        """One separable switch-allocation round.
+
+        ``is_available(router_id)`` reflects neighbors' PG signals;
+        ``depart`` receives every granted flit; ``note_blocked`` is
+        called once per (stalled VC, cycle) with the blocking neighbor.
+        Returns the number of flits granted.
+        """
+        if not self._occupied:
+            return 0
+        # Stage 1: each input port nominates one SA-ready VC.
+        by_port: Dict[Direction, List[VirtualChannel]] = {}
+        for vc in self._occupied:
+            if self._sa_ready(vc, cycle, is_available, note_blocked):
+                by_port.setdefault(vc.port_direction, []).append(vc)
+        if not by_port:
+            return 0
+
+        nominations: Dict[Direction, List[VirtualChannel]] = {}
+        for direction, ready in by_port.items():
+            port = self.input_ports[direction]
+            pick = ready[port.sa_rr_pointer % len(ready)]
+            port.sa_rr_pointer += 1
+            nominations.setdefault(pick.route, []).append(pick)
+
+        # Stage 2: each output port grants one nomination.
+        granted = 0
+        for out_dir, contenders in nominations.items():
+            rr = self._sa_out_rr[out_dir]
+            winner = contenders[rr % len(contenders)]
+            self._sa_out_rr[out_dir] = rr + 1
+            in_dir, in_vc = winner.port_direction, winner.vc_index
+            flit, out_vc = self._commit_departure(winner, out_dir, cycle)
+            depart(flit, in_dir, in_vc, out_dir, out_vc)
+            granted += 1
+        return granted
+
+    def _sa_ready(
+        self,
+        vc: VirtualChannel,
+        cycle: int,
+        is_available: Callable[[int], bool],
+        note_blocked: Callable[[int, Flit], None],
+    ) -> bool:
+        """Whether the front flit of ``vc`` can traverse the switch now."""
+        if vc.state is not VCState.ACTIVE:
+            return False
+        if cycle < vc.sa_eligible_at:
+            return False
+        if cycle < vc.front_arrival() + self.config.router_stages - 2:
+            return False
+        if vc.route == Direction.LOCAL:
+            return True
+        neighbor = self.connected[vc.route]
+        assert neighbor is not None
+        if not is_available(neighbor):
+            note_blocked(neighbor, vc.front)
+            return False
+        return self.output_ports[vc.route].credits[vc.out_vc] > 0
+
+    def _commit_departure(
+        self, vc: VirtualChannel, out_dir: Direction, cycle: int
+    ) -> Tuple[Flit, int]:
+        """Pop the granted flit; update VC, credit and ownership state."""
+        flit = vc.pop()
+        out_port = self.output_ports[out_dir]
+        out_vc = vc.out_vc
+        if out_dir != Direction.LOCAL:
+            out_port.credits[out_vc] -= 1
+        if flit.is_tail:
+            out_port.owner[out_vc] = None
+            vc.reset_for_next_packet()
+            # The head of the next packet may already be buffered.
+            if not vc.is_empty:
+                self._activate_front(vc, cycle)
+        if vc.is_empty:
+            self._occupied.pop(vc, None)
+        return flit, out_vc
+
+    # ------------------------------------------------------------------
+    # Credits
+    # ------------------------------------------------------------------
+    def return_credit(self, direction: Direction, vc_index: int) -> None:
+        """A downstream buffer slot on ``direction`` freed up."""
+        self.output_ports[direction].credits[vc_index] += 1
+
+    # ------------------------------------------------------------------
+    # Punch-signal support
+    # ------------------------------------------------------------------
+    def head_flit_requirements(self) -> List[Tuple[int, int]]:
+        """(next_router, destination) for every front head flit.
+
+        Power Punch recomputes punch signals combinationally every
+        cycle from the wakeup requirements of the packets currently
+        buffered (Sec. 6.6(1)); this method exposes those requirements.
+        ConvOpt-PG's one-hop-early wakeup reads the same information
+        but only uses ``next_router``.
+        """
+        requirements = []
+        for vc in self._occupied:
+            front = vc.front
+            if front is None or not front.is_head:
+                continue
+            if vc.route is None or vc.route == Direction.LOCAL:
+                continue
+            neighbor = self.connected[vc.route]
+            if neighbor is not None:
+                requirements.append((neighbor, front.packet.destination))
+        return requirements

@@ -1,0 +1,142 @@
+"""Dimension-order (XY) routing.
+
+The paper implements Power Punch on top of deterministic XY routing
+(Sec. 4, "Without loss of generality, we implement Power Punch assuming
+a 2D mesh network with XY routing").  XY routing fully determines the
+path of every packet, which is what lets punch signals know exactly
+which routers lie on a packet's imminent path, and its turn
+restrictions (no Y-to-X turns) are what shrink the number of wakeup
+signal sources per link from nine to three (Sec. 4.1 step 3).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .topology import Direction, MeshTopology
+
+
+class XYRouting:
+    """Deterministic XY dimension-order routing on a mesh.
+
+    Packets first travel in the X dimension until the destination
+    column is reached, then in the Y dimension.  Y-to-X turns are
+    therefore illegal, which avoids deadlock.
+    """
+
+    def __init__(self, topology: MeshTopology) -> None:
+        self.topology = topology
+        # Route lookups sit on the simulator's hottest paths (switch
+        # allocation and punch relaying); memoize them.  A mesh has at
+        # most N^2 (current, destination) pairs.
+        self._direction_cache: dict = {}
+        self._next_hop_cache: dict = {}
+
+    # ------------------------------------------------------------------
+    # Next-hop computation
+    # ------------------------------------------------------------------
+    def output_direction(self, current: int, destination: int) -> Direction:
+        """Output port a packet at ``current`` takes toward ``destination``."""
+        key = (current, destination)
+        cached = self._direction_cache.get(key)
+        if cached is not None:
+            return cached
+        cur = self.topology.coord(current)
+        dst = self.topology.coord(destination)
+        if cur.x < dst.x:
+            direction = Direction.XPOS
+        elif cur.x > dst.x:
+            direction = Direction.XNEG
+        elif cur.y < dst.y:
+            direction = Direction.YPOS
+        elif cur.y > dst.y:
+            direction = Direction.YNEG
+        else:
+            direction = Direction.LOCAL
+        self._direction_cache[key] = direction
+        return direction
+
+    def next_hop(self, current: int, destination: int) -> Optional[int]:
+        """Next router on the path, or ``None`` when already there."""
+        key = (current, destination)
+        try:
+            return self._next_hop_cache[key]
+        except KeyError:
+            pass
+        direction = self.output_direction(current, destination)
+        nxt = (
+            None
+            if direction == Direction.LOCAL
+            else self.topology.neighbor(current, direction)
+        )
+        self._next_hop_cache[key] = nxt
+        return nxt
+
+    # ------------------------------------------------------------------
+    # Whole-path computation
+    # ------------------------------------------------------------------
+    def path(self, source: int, destination: int) -> List[int]:
+        """Full router path, inclusive of both endpoints."""
+        nodes = [source]
+        current = source
+        while current != destination:
+            nxt = self.next_hop(current, destination)
+            assert nxt is not None
+            nodes.append(nxt)
+            current = nxt
+        return nodes
+
+    def hops(self, source: int, destination: int) -> int:
+        """Number of router-to-router hops on the XY path."""
+        return self.topology.hop_distance(source, destination)
+
+    def router_ahead(self, current: int, destination: int, hops: int) -> int:
+        """Router ``hops`` hops downstream on the XY path toward ``destination``.
+
+        If the destination is closer than ``hops``, the destination
+        itself is returned.  This is the paper's *targeted router*
+        (Sec. 4.1 step 1): e.g. for a packet at R3 destined to R7 in an
+        8x8 mesh, the 3-hop targeted router is R6.
+        """
+        if hops < 0:
+            raise ValueError("hops must be non-negative")
+        node = current
+        for _ in range(hops):
+            nxt = self.next_hop(node, destination)
+            if nxt is None:
+                break
+            node = nxt
+        return node
+
+    # ------------------------------------------------------------------
+    # Turn legality
+    # ------------------------------------------------------------------
+    @staticmethod
+    def is_turn_legal(incoming: Direction, outgoing: Direction) -> bool:
+        """Whether a packet may enter on ``incoming`` and leave on ``outgoing``.
+
+        ``incoming`` is the port the packet arrived on (e.g. a packet
+        moving in X+ arrives on the XNEG port of the next router).  XY
+        routing forbids Y-to-X turns; traffic from the local port may
+        go anywhere, and any traffic may eject.
+        """
+        if incoming == Direction.LOCAL or outgoing == Direction.LOCAL:
+            return True
+        # Arrival port XNEG means the packet travels in the X+ direction, etc.
+        travelling_y = incoming.is_y
+        turning_to_x = outgoing.is_x
+        if travelling_y and turning_to_x:
+            return False
+        # A packet never reverses direction (e.g. in on XNEG, out on XNEG
+        # would send it back where it came from).
+        if incoming == outgoing:
+            return False
+        return True
+
+    def uses_link(self, source: int, target: int, link_src: int, link_dst: int) -> bool:
+        """Whether the XY path from ``source`` to ``target`` crosses a link."""
+        nodes = self.path(source, target)
+        for a, b in zip(nodes, nodes[1:]):
+            if a == link_src and b == link_dst:
+                return True
+        return False

@@ -1,0 +1,97 @@
+"""Network statistics.
+
+Collects the per-packet measurements the paper's evaluation is built
+from: average packet latency (Figs. 7, 12, 13), the number of distinct
+powered-off routers encountered per packet (Fig. 9) and the cycles per
+packet spent waiting for router wakeup (Fig. 10), plus activity counts
+feeding the energy model (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .packet import Packet
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate counters for one simulation run."""
+
+    #: First cycle of the measurement window (packets created earlier
+    #: are warmup traffic and excluded from latency averages).
+    measure_from: int = 0
+    delivered: int = 0
+    total_network_latency: int = 0
+    total_latency: int = 0
+    total_hops: int = 0
+    total_blocked_routers: int = 0
+    total_wakeup_wait_cycles: int = 0
+    delivered_flits: int = 0
+    injected_flits: int = 0
+    injected_packets: int = 0
+    #: Activity counts for dynamic energy: every switch traversal and
+    #: every link traversal in the whole run (warmup included — energy
+    #: is a whole-run quantity).
+    router_traversals: int = 0
+    link_traversals: int = 0
+    cycles: int = 0
+    latencies: List[int] = field(default_factory=list)
+    #: Record individual latencies (disabled for long runs to bound memory).
+    keep_samples: bool = False
+
+    def record_delivery(self, packet: Packet, hops: int) -> None:
+        """Account a delivered packet (ignored if created during warmup)."""
+        if packet.created_at < self.measure_from:
+            return
+        assert packet.network_latency is not None
+        self.delivered += 1
+        self.delivered_flits += packet.size_flits
+        self.total_network_latency += packet.network_latency
+        self.total_latency += packet.total_latency
+        self.total_hops += hops
+        self.total_blocked_routers += len(packet.blocked_routers)
+        self.total_wakeup_wait_cycles += packet.wakeup_wait_cycles
+        if self.keep_samples:
+            self.latencies.append(packet.network_latency)
+
+    def record_injection(self, packet: Packet) -> None:
+        """Account a newly created packet (ignored during warmup)."""
+        if packet.created_at < self.measure_from:
+            return
+        self.injected_packets += 1
+        self.injected_flits += packet.size_flits
+
+    # ------------------------------------------------------------------
+    @property
+    def avg_packet_latency(self) -> float:
+        """Average network latency in cycles (injection to delivery)."""
+        return self.total_network_latency / self.delivered if self.delivered else 0.0
+
+    @property
+    def avg_total_latency(self) -> float:
+        """Average latency including NI queueing (creation to delivery)."""
+        return self.total_latency / self.delivered if self.delivered else 0.0
+
+    @property
+    def avg_hops(self) -> float:
+        """Average minimal hop count of delivered packets."""
+        return self.total_hops / self.delivered if self.delivered else 0.0
+
+    @property
+    def avg_blocked_routers(self) -> float:
+        """Fig. 9 metric: powered-off routers encountered per packet."""
+        return self.total_blocked_routers / self.delivered if self.delivered else 0.0
+
+    @property
+    def avg_wakeup_wait(self) -> float:
+        """Fig. 10 metric: cycles per packet waiting for router wakeup."""
+        return self.total_wakeup_wait_cycles / self.delivered if self.delivered else 0.0
+
+    def throughput(self, num_nodes: int) -> float:
+        """Accepted traffic in flits/node/cycle over the measured window."""
+        window = self.cycles - self.measure_from
+        if window <= 0:
+            return 0.0
+        return self.delivered_flits / (window * num_nodes)

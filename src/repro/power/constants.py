@@ -1,0 +1,68 @@
+"""Router power/energy constants (45 nm class).
+
+The paper obtains router power from DSENT at 45 nm integrated with
+gem5/GARNET; absolute numbers here are calibrated to reproduce the two
+anchors its evaluation depends on:
+
+* total router static power of an 8x8 mesh around 1.75 W (Fig. 12,
+  No-PG curves), i.e. ~27 mW per router at 2 GHz;
+* static power ≈ 64 % of total router power under PARSEC-like loads
+  (Sec. 2.1), which fixes the per-flit dynamic energies.
+
+The break-even time (BET = 10 cycles), the 4-cycle idle timeout and the
+8-cycle wakeup latency follow Sec. 5 and the prior work it cites.
+Energy results in the paper are reported normalized to No-PG, so only
+these ratios — not the absolute joules — need to be faithful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PowerConstants:
+    """Energy model parameters; all energies in joules, per cycle/event."""
+
+    #: Clock frequency (Hz).
+    frequency: float = 2.0e9
+    #: Router static (leakage) power when powered on, watts.
+    router_static_power: float = 27.3e-3
+    #: Dynamic energy per flit per router traversal (buffer write/read,
+    #: VC/SW allocation, crossbar), joules.
+    flit_router_energy: float = 65.0e-12
+    #: Dynamic energy per flit per link traversal, joules.
+    flit_link_energy: float = 20.0e-12
+    #: Break-even time in cycles: the gated-off time needed to amortize
+    #: one full power-gating event (Sec. 2.3 footnote 2).
+    break_even_cycles: int = 10
+    #: Always-on power-gating controller static power, as a fraction of
+    #: router static power (the paper reports 2.4 % extra NoC area for
+    #: punch wiring and control logic).
+    controller_static_fraction: float = 0.024
+    #: Energy per (merged) punch-signal link transmission: a ~5-bit
+    #: low-swing control signal vs. a 128-bit data link.
+    punch_link_energy: float = 1.0e-12
+
+    @property
+    def router_static_energy_per_cycle(self) -> float:
+        """Static energy one powered-on router leaks per cycle (J)."""
+        return self.router_static_power / self.frequency
+
+    @property
+    def controller_static_energy_per_cycle(self) -> float:
+        """Always-on PG controller leakage per cycle (J)."""
+        return self.controller_static_fraction * self.router_static_energy_per_cycle
+
+    @property
+    def power_gate_event_energy(self) -> float:
+        """Energy overhead of one sleep/wake pair.
+
+        By the definition of break-even time, one power-gating event
+        (charging capacitance, distributing the sleep signal) costs the
+        static energy of ``break_even_cycles`` cycles.
+        """
+        return self.break_even_cycles * self.router_static_energy_per_cycle
+
+
+DEFAULT_CONSTANTS = PowerConstants()

@@ -1,0 +1,5 @@
+"""Router power-gating substrate: controller FSM and WU/PG handshake."""
+
+from .controller import PGState, PowerGateController
+
+__all__ = ["PGState", "PowerGateController"]

@@ -1,0 +1,195 @@
+"""Per-router power-gating controller.
+
+Implements the always-on controller of the paper's Figure 1/2: it
+monitors the emptiness of the router datapath and the wakeup (WU)
+signals from neighbors and the NI, asserts the sleep signal after a
+timeout, and drives the PG handshake signal that neighbors use to mark
+output ports unavailable in their switch allocators.
+
+States:
+
+* ``ACTIVE`` — router powered on, forwarding packets.
+* ``OFF`` — supply gated; the router blocks every path through it.
+* ``WAKING`` — sleep signal de-asserted, supply charging for
+  ``wakeup_latency`` cycles; PG stays asserted until fully awake
+  (Sec. 2.2), so the router is still unavailable.
+
+Power Punch additions: a punch signal passing through (or targeting)
+the router both wakes it and *forewarns* it — the controller learns a
+packet will arrive within the punch horizon, so it refuses to sleep
+(``expect_until``), filtering short idle periods more accurately than
+the timeout alone (Sec. 4.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+
+class PGState(enum.Enum):
+    """Router power state: ACTIVE, OFF or WAKING."""
+    ACTIVE = "active"
+    OFF = "off"
+    WAKING = "waking"
+
+
+class PowerGateController:
+    """Always-on power-gating controller for one router."""
+
+    __slots__ = (
+        "router_id",
+        "wakeup_latency",
+        "timeout",
+        "state",
+        "idle_cycles",
+        "wake_at",
+        "expect_until",
+        "wu_seen",
+        "active_cycles",
+        "off_cycles",
+        "waking_cycles",
+        "wake_events",
+        "sleep_events",
+        "short_sleeps",
+        "last_sleep_cycle",
+        "off_period_lengths_sum",
+    )
+
+    def __init__(
+        self, router_id: int, wakeup_latency: int = 8, timeout: int = 4
+    ) -> None:
+        if wakeup_latency < 1:
+            raise ValueError("wakeup_latency must be positive")
+        if timeout < 2:
+            # The paper requires a minimum two-cycle timeout so flits
+            # that already left upstream routers land safely.
+            raise ValueError("timeout must be at least 2 cycles")
+        self.router_id = router_id
+        self.wakeup_latency = wakeup_latency
+        self.timeout = timeout
+        self.state = PGState.ACTIVE
+        self.idle_cycles = 0
+        self.wake_at: Optional[int] = None
+        #: Punch-derived forewarning: do not sleep before this cycle.
+        self.expect_until = -1
+        #: A WU/punch signal was seen this cycle (resets idle counting).
+        self.wu_seen = False
+        # --- statistics -------------------------------------------------
+        self.active_cycles = 0
+        self.off_cycles = 0
+        self.waking_cycles = 0
+        self.wake_events = 0
+        self.sleep_events = 0
+        #: Sleeps whose off-period ended up shorter than they should be
+        #: (diagnostic for break-even accounting).
+        self.short_sleeps = 0
+        self.last_sleep_cycle: Optional[int] = None
+        self.off_period_lengths_sum = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_available(self) -> bool:
+        """PG signal de-asserted: packets may be forwarded here."""
+        return self.state is PGState.ACTIVE
+
+    def available_by(self, by_cycle: int) -> bool:
+        """Whether the router will be powered on at ``by_cycle``."""
+        if self.state is PGState.ACTIVE:
+            return True
+        if self.state is PGState.WAKING:
+            return self.wake_at <= by_cycle
+        return False
+
+    @property
+    def is_off(self) -> bool:
+        """Whether the router is gated off."""
+        return self.state is PGState.OFF
+
+    @property
+    def is_waking(self) -> bool:
+        """Whether the router is mid-wakeup (PG still asserted)."""
+        return self.state is PGState.WAKING
+
+    # ------------------------------------------------------------------
+    # Wakeup / forewarning inputs
+    # ------------------------------------------------------------------
+    def request_wakeup(self, cycle: int, expectation_window: int = 0) -> None:
+        """A WU or punch signal reaches this controller at ``cycle``.
+
+        Wakes the router if it is gated off, resets idle counting, and
+        (for Power Punch) extends the forewarning window during which
+        the router refuses to sleep.
+        """
+        self.wu_seen = True
+        if expectation_window > 0:
+            expect = cycle + expectation_window
+            if expect > self.expect_until:
+                self.expect_until = expect
+        if self.state is PGState.OFF:
+            self.state = PGState.WAKING
+            self.wake_at = cycle + self.wakeup_latency
+            self.wake_events += 1
+            if self.last_sleep_cycle is not None:
+                off_len = cycle - self.last_sleep_cycle
+                self.off_period_lengths_sum += off_len
+
+    # ------------------------------------------------------------------
+    # Per-cycle FSM update
+    # ------------------------------------------------------------------
+    def step(self, cycle: int, datapath_empty: bool, node_wants_router: bool) -> None:
+        """Advance the FSM one cycle.
+
+        ``datapath_empty`` is the router's sleep precondition;
+        ``node_wants_router`` is the NI-side WU (a ready packet is
+        checking availability or a stream is in flight).
+        """
+        if self.state is PGState.WAKING:
+            self.waking_cycles += 1
+            if cycle >= self.wake_at:
+                self.state = PGState.ACTIVE
+                self.wake_at = None
+                self.idle_cycles = 0
+            self.wu_seen = False
+            return
+        if self.state is PGState.OFF:
+            self.off_cycles += 1
+            self.wu_seen = False
+            return
+
+        self.active_cycles += 1
+        busy = (not datapath_empty) or node_wants_router or self.wu_seen
+        self.wu_seen = False
+        if busy:
+            self.idle_cycles = 0
+            if not datapath_empty:
+                # A buffered flit fulfills (or supersedes) the punch
+                # forewarning; punches for packets still on their way
+                # re-arm the window every cycle, so clearing it here
+                # only releases stale expectations.
+                self.expect_until = -1
+            return
+        self.idle_cycles += 1
+        if self.idle_cycles >= self.timeout and cycle > self.expect_until:
+            self.state = PGState.OFF
+            self.idle_cycles = 0
+            self.sleep_events += 1
+            # The router is off from the *next* cycle onward.
+            self.last_sleep_cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def gated_fraction(self) -> float:
+        """Fraction of lifetime cycles spent gated off."""
+        total = self.active_cycles + self.off_cycles + self.waking_cycles
+        return self.off_cycles / total if total else 0.0
+
+    def mean_off_period(self) -> float:
+        """Average length of completed off periods, in cycles."""
+        return (
+            self.off_period_lengths_sum / self.wake_events if self.wake_events else 0.0
+        )

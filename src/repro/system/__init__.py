@@ -1,0 +1,29 @@
+"""Closed-loop CMP substrate: cores, caches, MESI coherence, PARSEC profiles."""
+
+from .cache import SetAssociativeCache
+from .chip import Chip, ChipResult
+from .cpu import Core
+from .directory import DirectoryController
+from .l1 import L1Controller
+from .memctrl import Memory, MemoryController
+from .memtrace import AccessStream, StreamProfile
+from .messages import CoherenceMessage, MessageType
+from .parsec import PARSEC_BENCHMARKS, PARSEC_PROFILES, get_profile
+
+__all__ = [
+    "AccessStream",
+    "Chip",
+    "ChipResult",
+    "CoherenceMessage",
+    "Core",
+    "DirectoryController",
+    "L1Controller",
+    "Memory",
+    "MemoryController",
+    "MessageType",
+    "PARSEC_BENCHMARKS",
+    "PARSEC_PROFILES",
+    "SetAssociativeCache",
+    "StreamProfile",
+    "get_profile",
+]

@@ -1,0 +1,285 @@
+"""Full-chip assembly: cores + L1s + L2/directory banks + MCs on the NoC.
+
+This is the closed-loop substitute for the paper's gem5 full-system
+setup: every L1 miss becomes a MESI transaction whose messages travel
+through the simulated NoC under the configured power-gating scheme, and
+the requesting core stalls until the transaction completes.  Execution
+time (the paper's Fig. 8 metric) is the cycle at which every core has
+retired its instruction quota.
+
+Timing per Table 2: 1-cycle L1 (folded into the core's issue cycle),
+6-cycle L2/directory access, 128-cycle memory, 3-cycle NI, four memory
+controllers at the mesh corners, block addresses interleaved across the
+64 L2 banks.
+
+Slack-2 wiring: when a request arrives at a home node, the directory's
+L2 access is about to produce a response message — the NI early notice
+fires right there, giving Power Punch-PG its ~6 cycles of local-router
+wakeup slack (valid bit 1 for L2/directory, 0 for L1-sourced requests,
+exactly as in the paper's Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..noc.config import NoCConfig
+from ..noc.network import Network
+from ..noc.packet import Packet
+from ..noc.policy import PowerPolicy
+from .cpu import Core
+from .directory import DirectoryController
+from .l1 import L1Controller
+from .memctrl import Memory, MemoryController
+from .memtrace import AccessStream, StreamProfile
+from .messages import CoherenceMessage, MessageType
+
+#: Processing latencies (cycles) applied when a message reaches a node.
+L2_ACCESS_LATENCY = 6
+L1_PROCESS_LATENCY = 1
+RESPONSE_PROCESS_LATENCY = 1
+#: Latency of a message that never enters the NoC (same-node L1<->L2).
+LOCAL_HOP_LATENCY = 2
+
+_DIRECTORY_TYPES = frozenset(
+    {
+        MessageType.GETS,
+        MessageType.GETM,
+        MessageType.PUTS,
+        MessageType.PUTM,
+        MessageType.OWNER_DATA,
+        MessageType.FWD_NACK,
+        MessageType.MEM_DATA,
+    }
+)
+_MC_TYPES = frozenset({MessageType.MEM_READ, MessageType.MEM_WRITE})
+#: Request types whose arrival at the home implies a response will be
+#: generated after the L2 access — the slack-2 notice point.
+_NOTICE_TYPES = frozenset(
+    {MessageType.GETS, MessageType.GETM, MessageType.PUTM}
+)
+
+
+@dataclass
+class ChipResult:
+    """Outcome of one full-system run."""
+
+    benchmark: str
+    scheme: str
+    execution_time: int
+    avg_packet_latency: float
+    avg_total_latency: float
+    avg_blocked_routers: float
+    avg_wakeup_wait: float
+    injection_rate: float
+    l1_miss_rate: float
+    packets: int
+    cycles: int
+
+
+class Chip:
+    """A mesh CMP running a synthetic multi-threaded workload."""
+
+    def __init__(
+        self,
+        config: NoCConfig,
+        policy: PowerPolicy,
+        profile: StreamProfile,
+        instructions_per_core: int = 3000,
+        seed: int = 1,
+        memory_latency: int = 128,
+        benchmark: str = "custom",
+        warm_caches: bool = True,
+    ) -> None:
+        self.config = config
+        self.network = Network(config, policy)
+        self.benchmark = benchmark
+        n = config.num_nodes
+        w, h = config.width, config.height
+        self.mc_nodes = [0, w - 1, (h - 1) * w, h * w - 1]
+        self.memory = Memory()
+
+        #: Pending (ready_cycle, seq, node, message) controller work.
+        self._work: List[Tuple[int, int, int, CoherenceMessage]] = []
+        self._seq = 0
+
+        def home_of(block: int) -> int:
+            return block % n
+
+        def mc_of(block: int) -> int:
+            return self.mc_nodes[block % len(self.mc_nodes)]
+
+        self.home_of = home_of
+        self.l1s: List[L1Controller] = []
+        self.directories: List[DirectoryController] = []
+        self.mcs: Dict[int, MemoryController] = {}
+        self.cores: List[Core] = []
+
+        for node in range(n):
+            sender = self._make_sender(node)
+            self.l1s.append(L1Controller(node, home_of, sender))
+            self.directories.append(
+                DirectoryController(node, mc_of, sender, l2_ways=16)
+            )
+            stream = AccessStream(node, profile, seed=seed)
+            self.cores.append(
+                Core(node, self.l1s[node], stream, quota=instructions_per_core)
+            )
+        for node in self.mc_nodes:
+            ni = self.network.interfaces[node]
+            self.mcs[node] = MemoryController(
+                node,
+                self.memory,
+                self._make_sender(node),
+                latency=memory_latency,
+                early_notice=lambda cycle, ni=ni: ni.early_notice(cycle),
+            )
+        self.network.add_delivery_listener(self._on_packet_delivered)
+        self._cores_remaining = n
+        self.execution_time: Optional[int] = None
+        if warm_caches:
+            self._warm_caches(profile)
+
+    def _warm_caches(self, profile: StreamProfile) -> None:
+        """Pre-install each core's hot working set and the shared pool.
+
+        Removes compulsory first-touch misses so the measured run
+        reflects steady-state behaviour (the paper collects statistics
+        from PARSEC regions of interest, not cold caches).
+        """
+        from .l1 import L1Line
+        from .directory import L2Line
+        from .memtrace import _PRIVATE_STRIDE, _SHARED_BASE
+
+        for node, l1 in enumerate(self.l1s):
+            base = node * _PRIVATE_STRIDE
+            for i in range(profile.hot_blocks):
+                block = base + i
+                l1.cache.insert(block, L1Line("E", 0))
+                home = self.directories[self.home_of(block)]
+                home.entry(block).owner = node
+                home.l2.insert(block, L2Line(version=0, dirty=False))
+        for i in range(profile.shared_blocks):
+            block = _SHARED_BASE + i
+            self.directories[self.home_of(block)].l2.insert(
+                block, L2Line(version=0, dirty=False)
+            )
+
+    # ------------------------------------------------------------------
+    # Message plumbing
+    # ------------------------------------------------------------------
+    def _make_sender(self, node: int) -> Callable[[CoherenceMessage, int, int], None]:
+        def send(msg: CoherenceMessage, dest: int, cycle: int) -> None:
+            if dest == node:
+                # Same-node hop (e.g. the home bank is local): bypass
+                # the NoC with a short fixed latency.
+                self._schedule(dest, msg, cycle + LOCAL_HOP_LATENCY, cycle)
+            else:
+                self.network.inject(msg.to_packet(node, dest, cycle))
+
+        return send
+
+    def _on_packet_delivered(self, packet: Packet, cycle: int) -> None:
+        msg = packet.payload
+        if not isinstance(msg, CoherenceMessage):
+            return
+        self._schedule(packet.destination, msg, cycle, cycle)
+
+    def _schedule(
+        self, node: int, msg: CoherenceMessage, arrival: int, cycle: int
+    ) -> None:
+        if msg.mtype in _MC_TYPES:
+            ready = arrival  # the MC applies its own latency
+        elif msg.mtype in _DIRECTORY_TYPES:
+            if msg.mtype in (MessageType.GETS, MessageType.GETM, MessageType.PUTM,
+                             MessageType.PUTS):
+                ready = arrival + L2_ACCESS_LATENCY
+                if msg.mtype in _NOTICE_TYPES:
+                    # Slack 2: a response will leave this node's NI in
+                    # ~L2_ACCESS_LATENCY cycles.
+                    self.network.interfaces[node].early_notice(cycle)
+            else:
+                ready = arrival + RESPONSE_PROCESS_LATENCY
+        else:
+            ready = arrival + L1_PROCESS_LATENCY
+        heapq.heappush(self._work, (ready, self._seq, node, msg))
+        self._seq += 1
+
+    def _process_work(self, cycle: int) -> None:
+        work = self._work
+        while work and work[0][0] <= cycle:
+            _ready, _seq, node, msg = heapq.heappop(work)
+            if msg.mtype in _MC_TYPES:
+                self.mcs[node].handle(msg, cycle)
+            elif msg.mtype in _DIRECTORY_TYPES:
+                self.directories[node].handle(msg, cycle)
+            else:
+                self.l1s[node].handle(msg, cycle)
+
+    # ------------------------------------------------------------------
+    # Simulation loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the chip one cycle: controllers, MCs, cores, network."""
+        cycle = self.network.cycle
+        self._process_work(cycle)
+        for mc in self.mcs.values():
+            mc.step(cycle)
+        for core in self.cores:
+            core.step(cycle)
+        self.network.step()
+
+    def run(self, max_cycles: int = 2_000_000) -> ChipResult:
+        """Run until every core retires its quota; return the results."""
+        while self.execution_time is None:
+            if self.network.cycle >= max_cycles:
+                self._dump_stall_state()
+                raise RuntimeError(
+                    f"chip did not finish within {max_cycles} cycles"
+                )
+            self.step()
+            if all(core.done for core in self.cores):
+                self.execution_time = self.network.cycle
+        return self.result()
+
+    def result(self) -> ChipResult:
+        """Summarize the run (execution time, NoC and cache statistics)."""
+        stats = self.network.stats
+        mem_ops = sum(c.mem_ops for c in self.cores)
+        misses = sum(c.misses for c in self.cores)
+        cycles = self.network.cycle
+        return ChipResult(
+            benchmark=self.benchmark,
+            scheme=self.network.policy.name,
+            execution_time=self.execution_time or cycles,
+            avg_packet_latency=stats.avg_packet_latency,
+            avg_total_latency=stats.avg_total_latency,
+            avg_blocked_routers=stats.avg_blocked_routers,
+            avg_wakeup_wait=stats.avg_wakeup_wait,
+            injection_rate=(
+                stats.injected_flits / (cycles * self.config.num_nodes)
+                if cycles
+                else 0.0
+            ),
+            l1_miss_rate=misses / mem_ops if mem_ops else 0.0,
+            packets=stats.delivered,
+            cycles=cycles,
+        )
+
+    # ------------------------------------------------------------------
+    def _dump_stall_state(self) -> None:  # pragma: no cover - debug aid
+        stuck = [
+            (c.node, c._waiting_on, self.l1s[c.node].mshrs.get(c._waiting_on))
+            for c in self.cores
+            if c.is_stalled
+        ]
+        print(f"[chip] stuck cores: {stuck[:8]} (of {len(stuck)})")
+        busy = [
+            (d.node, b, e.pending, len(e.waiting))
+            for d in self.directories
+            for b, e in d.entries.items()
+            if e.busy
+        ]
+        print(f"[chip] busy directory entries: {busy[:8]} (of {len(busy)})")

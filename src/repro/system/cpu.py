@@ -1,0 +1,114 @@
+"""In-order core model.
+
+One instruction per cycle while computing; a memory operation accesses
+the L1 (hits cost the issue cycle, as in the paper's 1-cycle L1) and a
+miss blocks the core until the coherence transaction completes.  This
+blocking behaviour is what closes the loop between NoC latency and
+execution time: every cycle a packet waits on a gated-off router is a
+cycle the requesting core makes no progress — the paper's Fig. 8
+execution-time penalty emerges from exactly this coupling.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from .l1 import L1Controller
+from .memtrace import AccessStream
+
+
+class Core:
+    """One blocking in-order core."""
+
+    def __init__(
+        self,
+        node: int,
+        l1: L1Controller,
+        stream: AccessStream,
+        quota: int,
+    ) -> None:
+        self.node = node
+        self.l1 = l1
+        self.stream = stream
+        #: Total instructions (compute + memory ops) to retire.
+        self.quota = quota
+        self.retired = 0
+        self.stall_cycles = 0
+        self.done_at: Optional[int] = None
+        self._gap_remaining, self._next_block, self._next_write = stream.next_access()
+        self._waiting_on: Optional[int] = None
+        self._structural_retry: Optional[Tuple[int, bool]] = None
+        l1.on_complete = self._on_miss_complete
+        # statistics
+        self.mem_ops = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """Whether the core has retired its instruction quota."""
+        return self.done_at is not None
+
+    @property
+    def is_stalled(self) -> bool:
+        """Whether the core is blocked on an outstanding miss."""
+        return self._waiting_on is not None
+
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        """Advance one cycle: compute, issue a memory op, or stall."""
+        if self.done:
+            return
+        if self._waiting_on is not None:
+            self.stall_cycles += 1
+            return
+        if self._gap_remaining > 0:
+            # Compute instructions retire one per cycle.
+            self._gap_remaining -= 1
+            self._retire(cycle)
+            return
+        self._issue_memory_op(cycle)
+
+    def _issue_memory_op(self, cycle: int) -> None:
+        if self._structural_retry is not None:
+            block, is_write = self._structural_retry
+        else:
+            block, is_write = self._next_block, self._next_write
+        if not self.l1.can_accept(block):
+            # e.g. our own writeback of this block is still in flight.
+            self._structural_retry = (block, is_write)
+            self.stall_cycles += 1
+            return
+        self._structural_retry = None
+        self.mem_ops += 1
+        hit = self.l1.access(block, is_write, cycle)
+        if hit:
+            self._retire(cycle)
+            self._load_next_access()
+        else:
+            self.misses += 1
+            overlap = self.stream.profile.overlap_fraction
+            if overlap > 0.0 and self.stream.rng.random() < overlap:
+                # Miss overlapped with execution (store buffer /
+                # prefetch-like): the core keeps retiring.
+                self._retire(cycle)
+                self._load_next_access()
+            else:
+                self._waiting_on = block
+
+    def _on_miss_complete(self, block: int, cycle: int) -> None:
+        if block != self._waiting_on:
+            return
+        self._waiting_on = None
+        self._retire(cycle)
+        self._load_next_access()
+
+    def _load_next_access(self) -> None:
+        self._gap_remaining, self._next_block, self._next_write = (
+            self.stream.next_access()
+        )
+
+    def _retire(self, cycle: int) -> None:
+        self.retired += 1
+        if self.retired >= self.quota:
+            self.done_at = cycle

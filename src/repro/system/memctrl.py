@@ -1,0 +1,99 @@
+"""Memory controllers.
+
+Four controllers sit at the mesh corners (paper Table 2); block
+addresses interleave across them.  A read costs ``memory_latency``
+(128) cycles before the data response leaves; writes are absorbed.
+
+Slack-2 hook: the controller knows exactly when its response will be
+generated, so it fires the NI early notice ``notice_lead`` cycles
+before sending — the same L2/directory-style slack the paper exploits.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .messages import CoherenceMessage, MessageType
+
+
+class Memory:
+    """Backing-store version map shared by all controllers."""
+
+    def __init__(self) -> None:
+        self.versions: Dict[int, int] = {}
+
+    def read(self, block: int) -> int:
+        """Current version of a block in backing store."""
+        return self.versions.get(block, 0)
+
+    def write(self, block: int, version: int) -> None:
+        # Writebacks of the same block may arrive slightly out of order
+        # on distinct VCs; never regress a version.
+        """Update a block's version (never regresses)."""
+        if version > self.versions.get(block, 0):
+            self.versions[block] = version
+
+
+class MemoryController:
+    """One corner memory controller."""
+
+    def __init__(
+        self,
+        node: int,
+        memory: Memory,
+        send: Callable[[CoherenceMessage, int, int], None],
+        latency: int = 128,
+        notice_lead: int = 6,
+        early_notice: Optional[Callable[[int], None]] = None,
+    ) -> None:
+        self.node = node
+        self.memory = memory
+        self._send = send
+        self.latency = latency
+        self.notice_lead = notice_lead
+        #: Called with the cycle at which a response is imminent.
+        self._early_notice = early_notice
+        #: (ready_cycle, seq, destination, block) min-heap.
+        self._pending: List[Tuple[int, int, int, int]] = []
+        self._seq = 0
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------
+    def handle(self, msg: CoherenceMessage, cycle: int) -> None:
+        """Accept a memory read (queued) or write (absorbed)."""
+        if msg.mtype is MessageType.MEM_READ:
+            self.reads += 1
+            heapq.heappush(
+                self._pending, (cycle + self.latency, self._seq, msg.sender, msg.block)
+            )
+            self._seq += 1
+        elif msg.mtype is MessageType.MEM_WRITE:
+            self.writes += 1
+            self.memory.write(msg.block, msg.version)
+        else:  # pragma: no cover - protocol hole guard
+            raise RuntimeError(f"MC {self.node} cannot handle {msg}")
+
+    def step(self, cycle: int) -> None:
+        """Send matured responses; fire early notices shortly before."""
+        if self._early_notice is not None:
+            for ready, _seq, _dest, _block in self._pending:
+                if ready - self.notice_lead <= cycle < ready:
+                    self._early_notice(cycle)
+                    break
+        while self._pending and self._pending[0][0] <= cycle:
+            _ready, _seq, dest, block = heapq.heappop(self._pending)
+            msg = CoherenceMessage(
+                MessageType.MEM_DATA,
+                block,
+                sender=self.node,
+                requester=dest,
+                version=self.memory.read(block),
+            )
+            self._send(msg, dest, cycle)
+
+    @property
+    def busy(self) -> bool:
+        """Whether any read is still pending."""
+        return bool(self._pending)

@@ -1,0 +1,128 @@
+"""Synthetic per-core memory access streams.
+
+The paper drives its NoC with multi-threaded PARSEC benchmarks under
+gem5.  We substitute parameterized access streams whose knobs map to
+the workload properties that matter for NoC power-gating:
+
+* ``mem_op_fraction`` — how often the core touches memory (sets the
+  compute gap between accesses);
+* ``cold_fraction`` — probability a private access misses the L1
+  (drawn from a large cold pool rather than the cache-resident hot
+  pool), the main injection-rate control;
+* ``shared_fraction`` / ``write_fraction`` — coherence traffic: shared
+  writes invalidate other cores' copies and create forward/ack
+  traffic on the other virtual networks;
+* ``comm_accesses`` / ``compute_accesses`` — phase alternation, which
+  produces the bursty idle/busy pattern that makes router power-gating
+  worthwhile in the first place.
+
+Streams are deterministic given (core_id, seed).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+#: Address-space carving (block numbers).
+_PRIVATE_STRIDE = 1 << 24
+_SHARED_BASE = 1 << 44
+
+
+@dataclass(frozen=True)
+class StreamProfile:
+    """Workload knobs for one core's access stream."""
+
+    mem_op_fraction: float = 0.3
+    cold_fraction: float = 0.01
+    shared_fraction: float = 0.15
+    write_fraction: float = 0.3
+    hot_blocks: int = 256
+    cold_blocks: int = 65536
+    shared_blocks: int = 2048
+    #: Accesses per communication / compute phase (0 disables phases).
+    comm_accesses: int = 64
+    compute_accesses: int = 192
+    #: Multiplier on the compute gap during compute phases.
+    compute_gap_boost: float = 3.0
+    #: Fraction of misses the core can overlap with further progress
+    #: (store buffers, prefetch-like accesses); the rest block retire.
+    overlap_fraction: float = 0.7
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.mem_op_fraction <= 1.0):
+            raise ValueError("mem_op_fraction must be in (0, 1]")
+        for name in ("cold_fraction", "shared_fraction", "write_fraction"):
+            value = getattr(self, name)
+            if not (0.0 <= value <= 1.0):
+                raise ValueError(f"{name} must be in [0, 1]")
+
+    @property
+    def mean_gap(self) -> float:
+        """Mean compute instructions between memory operations."""
+        return (1.0 - self.mem_op_fraction) / self.mem_op_fraction
+
+
+class AccessStream:
+    """Deterministic (gap, block, is_write) generator for one core."""
+
+    def __init__(self, core_id: int, profile: StreamProfile, seed: int = 1) -> None:
+        self.core_id = core_id
+        self.profile = profile
+        self.rng = random.Random((seed << 20) ^ core_id)
+        self._phase_comm = True
+        self._phase_left = profile.comm_accesses or 1
+        self._private_base = core_id * _PRIVATE_STRIDE
+        self.accesses_generated = 0
+
+    # ------------------------------------------------------------------
+    def next_access(self) -> Tuple[int, int, bool]:
+        """Return (compute_gap, block, is_write) for the next access."""
+        p = self.profile
+        rng = self.rng
+        in_comm = self._advance_phase()
+
+        shared_prob = p.shared_fraction * (2.0 if in_comm else 0.5)
+        if rng.random() < min(1.0, shared_prob):
+            block = _SHARED_BASE + rng.randrange(p.shared_blocks)
+        elif rng.random() < p.cold_fraction:
+            block = self._private_base + p.hot_blocks + rng.randrange(p.cold_blocks)
+        else:
+            block = self._private_base + rng.randrange(p.hot_blocks)
+
+        is_write = rng.random() < p.write_fraction
+        gap = self._draw_gap(in_comm)
+        self.accesses_generated += 1
+        return gap, block, is_write
+
+    def _advance_phase(self) -> bool:
+        p = self.profile
+        if p.comm_accesses <= 0 or p.compute_accesses <= 0:
+            return True
+        self._phase_left -= 1
+        if self._phase_left <= 0:
+            self._phase_comm = not self._phase_comm
+            self._phase_left = (
+                p.comm_accesses if self._phase_comm else p.compute_accesses
+            )
+        return self._phase_comm
+
+    def _draw_gap(self, in_comm: bool) -> int:
+        mean = self.profile.mean_gap
+        if not in_comm:
+            mean *= self.profile.compute_gap_boost
+        if mean <= 0:
+            return 0
+        # Geometric(p) with p = 1/(1+mean) has exactly the target mean.
+        p = 1.0 / (1.0 + mean)
+        u = self.rng.random()
+        if u <= 0.0:
+            return 0
+        gap = int(math.log(u) / math.log(1.0 - p))
+        return min(gap, 10_000)
+
+    def __iter__(self) -> Iterator[Tuple[int, int, bool]]:
+        while True:
+            yield self.next_access()

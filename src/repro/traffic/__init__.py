@@ -1,0 +1,6 @@
+"""Open-loop synthetic traffic: patterns and Bernoulli generators."""
+
+from .generator import SyntheticTraffic, measure
+from .patterns import PATTERNS, get_pattern, hotspot
+
+__all__ = ["PATTERNS", "SyntheticTraffic", "get_pattern", "hotspot", "measure"]

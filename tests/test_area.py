@@ -1,0 +1,53 @@
+"""Tests for the punch-hardware area model (Sec. 6.6(1))."""
+
+import pytest
+
+from repro.noc import MeshTopology
+from repro.power import RouterAreaBudget, estimate_punch_area
+
+
+class TestAreaEstimate:
+    def test_3hop_overhead_in_paper_range(self):
+        # Paper: ~2.4% extra NoC area over conventional power-gating.
+        est = estimate_punch_area(MeshTopology(8, 8), hops=3)
+        assert 0.01 < est.total_overhead < 0.04
+
+    def test_uses_worst_case_widths(self):
+        est = estimate_punch_area(MeshTopology(8, 8), hops=3)
+        assert est.widths == {"x_bits": 5, "y_bits": 2}
+
+    def test_4hop_costs_more_than_3hop(self):
+        topo = MeshTopology(8, 8)
+        est3 = estimate_punch_area(topo, hops=3)
+        est4 = estimate_punch_area(topo, hops=4)
+        assert est4.total_overhead > est3.total_overhead
+
+    def test_2hop_costs_less(self):
+        topo = MeshTopology(8, 8)
+        est2 = estimate_punch_area(topo, hops=2)
+        est3 = estimate_punch_area(topo, hops=3)
+        assert est2.total_overhead < est3.total_overhead
+
+    def test_independent_of_mesh_size(self):
+        # Sec. 6.6(2): punch widths depend on hop slack, not mesh size,
+        # so the per-router overhead is flat.
+        small = estimate_punch_area(MeshTopology(8, 8), hops=3)
+        big = estimate_punch_area(MeshTopology(16, 16), hops=3)
+        assert small.total_overhead == pytest.approx(big.total_overhead, rel=0.05)
+
+    def test_components_positive(self):
+        est = estimate_punch_area(MeshTopology(8, 8), hops=3)
+        assert est.wiring_overhead > 0
+        assert est.logic_overhead > 0
+        assert est.total_overhead == pytest.approx(
+            est.wiring_overhead + est.logic_overhead
+        )
+
+    def test_custom_budget(self):
+        wide = RouterAreaBudget(link_width_bits=256)
+        narrow = RouterAreaBudget(link_width_bits=64)
+        topo = MeshTopology(8, 8)
+        assert (
+            estimate_punch_area(topo, budget=wide).wiring_overhead
+            < estimate_punch_area(topo, budget=narrow).wiring_overhead
+        )

@@ -1,0 +1,85 @@
+"""Tests for VC state and credit bookkeeping."""
+
+import pytest
+
+from repro.noc import Direction, VirtualNetwork, control_packet
+from repro.noc.buffers import InputPort, OutputPort, VCState, VirtualChannel
+from repro.noc.packet import make_flits
+
+
+def flit(dest=5):
+    packet = control_packet(0, dest, VirtualNetwork.REQUEST, 0)
+    return make_flits(packet)[0]
+
+
+DEPTHS = {0: 1, 1: 1, 2: 1, 3: 1, 4: 3, 5: 3}
+
+
+class TestVirtualChannel:
+    def test_push_pop_fifo(self):
+        vc = VirtualChannel(0, 3)
+        flits = [flit(), flit(), flit()]
+        for i, f in enumerate(flits):
+            vc.push(f, cycle=i)
+        assert vc.occupancy == 3
+        assert vc.front is flits[0]
+        assert vc.front_arrival() == 0
+        assert vc.pop() is flits[0]
+        assert vc.front_arrival() == 1
+
+    def test_overflow_raises(self):
+        vc = VirtualChannel(0, 1)
+        vc.push(flit(), 0)
+        with pytest.raises(RuntimeError):
+            vc.push(flit(), 1)
+
+    def test_reset_for_next_packet(self):
+        vc = VirtualChannel(0, 3)
+        vc.state = VCState.ACTIVE
+        vc.route = Direction.XPOS
+        vc.out_vc = 2
+        vc.reset_for_next_packet()
+        assert vc.state is VCState.IDLE
+        assert vc.route is None
+        assert vc.out_vc is None
+
+
+class TestInputPort:
+    def test_vcs_carry_port_direction(self):
+        port = InputPort(Direction.YNEG, DEPTHS)
+        assert all(vc.port_direction == Direction.YNEG for vc in port.vcs)
+
+    def test_depths_assigned_per_vc(self):
+        port = InputPort(Direction.LOCAL, DEPTHS)
+        assert [vc.depth for vc in port.vcs] == [1, 1, 1, 1, 3, 3]
+
+    def test_is_empty(self):
+        port = InputPort(Direction.LOCAL, DEPTHS)
+        assert port.is_empty()
+        port.vcs[4].push(flit(), 0)
+        assert not port.is_empty()
+        assert port.occupied_vcs() == [port.vcs[4]]
+
+
+class TestOutputPort:
+    def test_initial_credits_match_depths(self):
+        port = OutputPort(Direction.XPOS, DEPTHS)
+        assert port.credits == [1, 1, 1, 1, 3, 3]
+
+    def test_free_vc_round_robin(self):
+        port = OutputPort(Direction.XPOS, DEPTHS)
+        assert port.free_vc_in(range(4, 6)) == 4
+        port.owner[4] = (Direction.LOCAL, 0)
+        assert port.free_vc_in(range(4, 6)) == 5
+
+    def test_no_free_vc(self):
+        port = OutputPort(Direction.XPOS, DEPTHS)
+        port.owner[4] = (Direction.LOCAL, 0)
+        port.owner[5] = (Direction.LOCAL, 1)
+        assert port.free_vc_in(range(4, 6)) is None
+
+    def test_all_vcs_idle(self):
+        port = OutputPort(Direction.XPOS, DEPTHS)
+        assert port.all_vcs_idle()
+        port.owner[0] = (Direction.LOCAL, 0)
+        assert not port.all_vcs_idle()

@@ -1,0 +1,107 @@
+"""Tests for the set-associative cache structure."""
+
+import pytest
+
+from repro.system import SetAssociativeCache
+
+
+def make(size=1024, ways=2, block=64):
+    return SetAssociativeCache(size, ways, block)
+
+
+class TestGeometry:
+    def test_l1_geometry(self):
+        # 32KB, 2-way, 64B blocks -> 256 sets (paper Table 2).
+        cache = make(32 * 1024, 2)
+        assert cache.num_sets == 256
+        assert cache.capacity_blocks == 512
+
+    def test_l2_bank_geometry(self):
+        # 256KB, 16-way -> 256 sets per bank.
+        cache = make(256 * 1024, 16)
+        assert cache.num_sets == 256
+        assert cache.capacity_blocks == 4096
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            make(1000, 3)
+
+
+class TestLookupInsert:
+    def test_miss_then_hit(self):
+        cache = make()
+        assert cache.lookup(5) is None
+        cache.insert(5, "line5")
+        assert cache.lookup(5) == "line5"
+        assert cache.contains(5)
+
+    def test_insert_returns_eviction(self):
+        cache = make(256, 2, 64)  # 2 sets, 2 ways
+        cache.insert(0, "a")
+        cache.insert(2, "b")  # same set (block % 2 == 0)
+        assert cache.insert(4, "c") == (0, "a")
+        assert not cache.contains(0)
+
+    def test_different_sets_do_not_conflict(self):
+        cache = make(256, 2, 64)
+        cache.insert(0, "a")
+        cache.insert(1, "b")
+        cache.insert(2, "c")
+        cache.insert(3, "d")
+        assert all(cache.contains(b) for b in range(4))
+
+    def test_reinsert_updates_no_eviction(self):
+        cache = make(256, 2, 64)
+        cache.insert(0, "a")
+        cache.insert(2, "b")
+        assert cache.insert(0, "a2") is None
+        assert cache.lookup(0) == "a2"
+
+
+class TestLRU:
+    def test_lru_order(self):
+        cache = make(256, 2, 64)
+        cache.insert(0, "a")
+        cache.insert(2, "b")
+        cache.lookup(0)  # refresh 0; 2 becomes LRU
+        assert cache.victim_for(4) == (2, "b")
+
+    def test_lookup_without_touch(self):
+        cache = make(256, 2, 64)
+        cache.insert(0, "a")
+        cache.insert(2, "b")
+        cache.lookup(0, touch=False)
+        assert cache.victim_for(4) == (0, "a")
+
+    def test_victim_respects_evictable_filter(self):
+        cache = make(256, 2, 64)
+        cache.insert(0, "a")
+        cache.insert(2, "b")
+        assert cache.victim_for(4, evictable=lambda b: b != 0) == (2, "b")
+
+    def test_victim_raises_when_all_vetoed(self):
+        cache = make(256, 2, 64)
+        cache.insert(0, "a")
+        cache.insert(2, "b")
+        with pytest.raises(RuntimeError):
+            cache.victim_for(4, evictable=lambda b: False)
+
+    def test_no_victim_needed_when_room(self):
+        cache = make(256, 2, 64)
+        cache.insert(0, "a")
+        assert cache.victim_for(2) is None
+
+    def test_no_victim_needed_when_present(self):
+        cache = make(256, 2, 64)
+        cache.insert(0, "a")
+        cache.insert(2, "b")
+        assert cache.victim_for(0) is None
+
+
+class TestRemove:
+    def test_remove(self):
+        cache = make()
+        cache.insert(7, "x")
+        assert cache.remove(7) == "x"
+        assert cache.remove(7) is None
+        assert cache.occupancy() == 0

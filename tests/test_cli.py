@@ -1,0 +1,41 @@
+"""Tests for the CLI front door."""
+
+import pytest
+
+from repro import cli
+
+
+class TestDispatch:
+    def test_known_commands_registered(self):
+        for name in (
+            "table1",
+            "parsec-suite",
+            "fig7-fig8",
+            "fig9-fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "scalability",
+            "ablations",
+            "baselines",
+            "headline",
+        ):
+            assert name in cli._COMMANDS
+
+    def test_unknown_command_raises(self):
+        with pytest.raises(SystemExit):
+            cli.main(["frobnicate"])
+
+    def test_help_prints(self, capsys):
+        cli.main([])
+        out = capsys.readouterr().out
+        assert "commands:" in out
+        assert "table1" in out
+
+    def test_table1_runs_through_cli_with_arguments(self, capsys):
+        # One invocation covers both dispatch and argument passthrough
+        # (the exhaustive chip-wide analysis is expensive).
+        cli.main(["table1", "--router", "36"])
+        out = capsys.readouterr().out
+        assert "R36" in out
+        assert "22" in out

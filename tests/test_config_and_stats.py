@@ -1,0 +1,81 @@
+"""Tests for NoCConfig and NetworkStats."""
+
+import pytest
+
+from repro.noc import NoCConfig, VirtualNetwork, control_packet
+from repro.noc.stats import NetworkStats
+
+
+class TestConfig:
+    def test_defaults_match_table2(self):
+        cfg = NoCConfig()
+        assert cfg.width == cfg.height == 8
+        assert cfg.router_stages == 3
+        assert cfg.vcs_per_vnet == 2
+        assert cfg.data_vc_depth == 3
+        assert cfg.control_vc_depth == 1
+        assert cfg.ni_latency == 3
+        assert cfg.num_vcs == 6
+
+    def test_vc_depth_by_vnet(self):
+        cfg = NoCConfig()
+        assert cfg.vc_depth(VirtualNetwork.RESPONSE) == 3
+        assert cfg.vc_depth(VirtualNetwork.REQUEST) == 1
+        assert cfg.vc_depth(VirtualNetwork.FORWARD) == 1
+
+    def test_vc_index_mapping(self):
+        cfg = NoCConfig()
+        assert cfg.vnet_of_vc(0) == VirtualNetwork.REQUEST
+        assert cfg.vnet_of_vc(5) == VirtualNetwork.RESPONSE
+        assert list(cfg.vcs_of_vnet(VirtualNetwork.FORWARD)) == [2, 3]
+
+    def test_hop_latency(self):
+        assert NoCConfig(router_stages=3).hop_latency == 4
+        assert NoCConfig(router_stages=4).hop_latency == 5
+
+    def test_invalid_stages_rejected(self):
+        with pytest.raises(ValueError):
+            NoCConfig(router_stages=5)
+
+    def test_depths_by_vc(self):
+        cfg = NoCConfig()
+        assert cfg.depths_by_vc() == {0: 1, 1: 1, 2: 1, 3: 1, 4: 3, 5: 3}
+
+
+class TestStats:
+    def make_packet(self, created=0, injected=5, delivered=30, blocked=(), wait=0):
+        p = control_packet(0, 7, VirtualNetwork.REQUEST, created)
+        p.injected_at = injected
+        p.delivered_at = delivered
+        p.blocked_routers = set(blocked)
+        p.wakeup_wait_cycles = wait
+        return p
+
+    def test_record_delivery_accumulates(self):
+        stats = NetworkStats()
+        stats.record_delivery(self.make_packet(blocked={1, 2}, wait=9), hops=7)
+        stats.record_delivery(self.make_packet(delivered=40), hops=7)
+        assert stats.delivered == 2
+        assert stats.avg_packet_latency == pytest.approx((25 + 35) / 2)
+        assert stats.avg_total_latency == pytest.approx((30 + 40) / 2)
+        assert stats.avg_blocked_routers == 1.0
+        assert stats.avg_wakeup_wait == 4.5
+        assert stats.avg_hops == 7
+
+    def test_warmup_exclusion(self):
+        stats = NetworkStats(measure_from=100)
+        stats.record_delivery(self.make_packet(created=50), hops=3)
+        assert stats.delivered == 0
+        stats.record_delivery(self.make_packet(created=150), hops=3)
+        assert stats.delivered == 1
+
+    def test_sample_recording_opt_in(self):
+        stats = NetworkStats(keep_samples=True)
+        stats.record_delivery(self.make_packet(), hops=1)
+        assert stats.latencies == [25]
+
+    def test_empty_stats_safe(self):
+        stats = NetworkStats()
+        assert stats.avg_packet_latency == 0.0
+        assert stats.avg_blocked_routers == 0.0
+        assert stats.throughput(64) == 0.0

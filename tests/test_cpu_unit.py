@@ -1,0 +1,126 @@
+"""Unit tests for the in-order core model."""
+
+import pytest
+
+from repro.system.cpu import Core
+from repro.system.l1 import L1Controller
+from repro.system.memtrace import AccessStream, StreamProfile
+
+
+class ScriptedStream:
+    """Deterministic access script standing in for AccessStream."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.profile = StreamProfile(overlap_fraction=0.0)
+        import random
+
+        self.rng = random.Random(0)
+
+    def next_access(self):
+        if self.script:
+            return self.script.pop(0)
+        return (10_000, 0, False)
+
+
+class FakeL1:
+    """L1 stub with scripted hit/miss behavior."""
+
+    def __init__(self, miss_blocks=()):
+        self.miss_blocks = set(miss_blocks)
+        self.on_complete = None
+        self.accepts = True
+        self.accesses = []
+
+    def can_accept(self, block):
+        return self.accepts
+
+    def access(self, block, is_write, cycle):
+        self.accesses.append((block, is_write, cycle))
+        return block not in self.miss_blocks
+
+    def complete(self, block, cycle):
+        self.on_complete(block, cycle)
+
+
+class TestComputePhase:
+    def test_retires_one_instruction_per_cycle(self):
+        stream = ScriptedStream([(5, 1, False)])
+        l1 = FakeL1()
+        core = Core(0, l1, stream, quota=4)
+        for cycle in range(4):
+            core.step(cycle)
+        assert core.retired == 4
+        assert core.done
+
+    def test_memory_op_issued_after_gap(self):
+        stream = ScriptedStream([(2, 42, False), (100, 0, False)])
+        l1 = FakeL1()
+        core = Core(0, l1, stream, quota=10)
+        for cycle in range(5):
+            core.step(cycle)
+        assert l1.accesses and l1.accesses[0][0] == 42
+        assert l1.accesses[0][2] == 2  # two compute cycles first
+
+
+class TestMissBehaviour:
+    def test_blocking_miss_stalls_until_completion(self):
+        stream = ScriptedStream([(0, 7, True), (100, 0, False)])
+        l1 = FakeL1(miss_blocks={7})
+        core = Core(0, l1, stream, quota=10)
+        core.step(0)
+        assert core.is_stalled
+        for cycle in range(1, 6):
+            core.step(cycle)
+        assert core.stall_cycles == 5
+        assert core.retired == 0
+        l1.complete(7, 6)
+        assert not core.is_stalled
+        assert core.retired == 1
+
+    def test_unrelated_completion_ignored(self):
+        stream = ScriptedStream([(0, 7, False), (100, 0, False)])
+        l1 = FakeL1(miss_blocks={7})
+        core = Core(0, l1, stream, quota=10)
+        core.step(0)
+        l1.complete(99, 1)
+        assert core.is_stalled
+
+    def test_structural_stall_retries_same_access(self):
+        stream = ScriptedStream([(0, 7, False), (100, 0, False)])
+        l1 = FakeL1()
+        l1.accepts = False
+        core = Core(0, l1, stream, quota=10)
+        core.step(0)
+        core.step(1)
+        assert not l1.accesses  # nothing issued yet
+        assert core.stall_cycles == 2
+        l1.accepts = True
+        core.step(2)
+        assert l1.accesses == [(7, False, 2)]
+
+    def test_done_core_stops_stepping(self):
+        stream = ScriptedStream([(1, 1, False)])
+        l1 = FakeL1()
+        core = Core(0, l1, stream, quota=1)
+        core.step(0)
+        assert core.done
+        retired = core.retired
+        core.step(1)
+        assert core.retired == retired
+
+
+class TestOverlap:
+    def test_overlapped_miss_does_not_stall(self):
+        profile = StreamProfile(overlap_fraction=1.0)
+        stream = AccessStream(0, profile, seed=1)
+        l1 = FakeL1()
+        # Every access misses.
+        l1.access = lambda block, w, cycle: (l1.accesses.append(block), False)[1]
+        core = Core(0, l1, stream, quota=50)
+        for cycle in range(400):
+            core.step(cycle)
+            if core.done:
+                break
+        assert core.done
+        assert core.stall_cycles == 0

@@ -1,0 +1,228 @@
+"""Unit tests for the directory controller with a scripted message sink."""
+
+import pytest
+
+from repro.system.directory import DirectoryController, L2Line
+from repro.system.memctrl import Memory, MemoryController
+from repro.system.messages import CoherenceMessage, MessageType
+
+
+class Sink:
+    def __init__(self):
+        self.sent = []
+
+    def __call__(self, msg, dest, cycle):
+        self.sent.append((msg, dest, cycle))
+
+    def of_type(self, mtype):
+        return [(m, d) for m, d, _ in self.sent if m.mtype is mtype]
+
+    def clear(self):
+        self.sent.clear()
+
+
+@pytest.fixture
+def home():
+    sink = Sink()
+    directory = DirectoryController(node=1, mc_of=lambda b: 0, send=sink)
+    directory.sink = sink
+    return directory
+
+
+def gets(block, requester):
+    return CoherenceMessage(MessageType.GETS, block, sender=requester, requester=requester)
+
+
+def getm(block, requester):
+    return CoherenceMessage(MessageType.GETM, block, sender=requester, requester=requester)
+
+
+BLOCK = 77
+
+
+class TestGetS:
+    def test_miss_goes_to_memory(self, home):
+        home.handle(gets(BLOCK, 4), cycle=0)
+        assert home.sink.of_type(MessageType.MEM_READ)
+        assert home.entry(BLOCK).busy
+        assert home.memory_fetches == 1
+
+    def test_hit_with_no_sharers_grants_exclusive(self, home):
+        home.l2.insert(BLOCK, L2Line(version=3))
+        home.handle(gets(BLOCK, 4), cycle=0)
+        ((msg, dest),) = home.sink.of_type(MessageType.DATA_E)
+        assert dest == 4 and msg.version == 3
+        assert home.entry(BLOCK).owner == 4
+
+    def test_hit_with_sharers_grants_shared(self, home):
+        home.l2.insert(BLOCK, L2Line(version=3))
+        home.entry(BLOCK).sharers = {2}
+        home.handle(gets(BLOCK, 4), cycle=0)
+        ((msg, dest),) = home.sink.of_type(MessageType.DATA)
+        assert dest == 4
+        assert home.entry(BLOCK).sharers == {2, 4}
+
+    def test_owner_forwarded_and_blocking(self, home):
+        home.entry(BLOCK).owner = 9
+        home.handle(gets(BLOCK, 4), cycle=0)
+        ((msg, dest),) = home.sink.of_type(MessageType.FWD_GETS)
+        assert dest == 9 and msg.requester == 4
+        assert home.entry(BLOCK).busy
+        # A second request queues behind.
+        home.handle(getm(BLOCK, 5), cycle=1)
+        assert len(home.entry(BLOCK).waiting) == 1
+
+    def test_owner_data_completes_gets(self, home):
+        home.entry(BLOCK).owner = 9
+        home.handle(gets(BLOCK, 4), cycle=0)
+        home.sink.clear()
+        home.handle(
+            CoherenceMessage(
+                MessageType.OWNER_DATA, BLOCK, sender=9, requester=4, version=5
+            ),
+            cycle=10,
+        )
+        entry = home.entry(BLOCK)
+        assert not entry.busy
+        assert entry.owner is None
+        assert entry.sharers == {9, 4}
+        assert home.l2.lookup(BLOCK).version == 5
+        assert home.l2.lookup(BLOCK).dirty
+
+
+class TestGetM:
+    def test_sharers_invalidated_with_ack_count(self, home):
+        home.l2.insert(BLOCK, L2Line(version=2))
+        home.entry(BLOCK).sharers = {2, 3, 4}
+        home.handle(getm(BLOCK, 4), cycle=0)
+        invs = home.sink.of_type(MessageType.INV)
+        assert {d for _m, d in invs} == {2, 3}
+        ((ack, dest),) = home.sink.of_type(MessageType.ACK_COUNT)
+        assert dest == 4 and ack.ack_count == 2
+        entry = home.entry(BLOCK)
+        assert entry.owner == 4 and entry.sharers == set()
+
+    def test_non_sharer_write_gets_data_plus_acks(self, home):
+        home.l2.insert(BLOCK, L2Line(version=2))
+        home.entry(BLOCK).sharers = {2, 3}
+        home.handle(getm(BLOCK, 7), cycle=0)
+        ((msg, dest),) = home.sink.of_type(MessageType.DATA)
+        assert dest == 7 and msg.ack_count == 2
+
+    def test_ownership_handoff_nonblocking(self, home):
+        home.entry(BLOCK).owner = 9
+        home.handle(getm(BLOCK, 4), cycle=0)
+        ((msg, dest),) = home.sink.of_type(MessageType.FWD_GETM)
+        assert dest == 9 and msg.requester == 4
+        entry = home.entry(BLOCK)
+        assert entry.owner == 4
+        assert not entry.busy
+
+
+class TestWriteback:
+    def test_putm_from_owner_installs(self, home):
+        home.entry(BLOCK).owner = 9
+        home.handle(
+            CoherenceMessage(
+                MessageType.PUTM, BLOCK, sender=9, requester=9, version=7
+            ),
+            cycle=0,
+        )
+        assert home.l2.lookup(BLOCK).version == 7
+        assert home.entry(BLOCK).owner is None
+        assert home.sink.of_type(MessageType.WB_ACK)
+
+    def test_stale_putm_only_acked(self, home):
+        home.entry(BLOCK).owner = 4
+        home.l2.insert(BLOCK, L2Line(version=9))
+        home.handle(
+            CoherenceMessage(
+                MessageType.PUTM, BLOCK, sender=2, requester=2, version=3
+            ),
+            cycle=0,
+        )
+        assert home.l2.lookup(BLOCK).version == 9
+        assert home.entry(BLOCK).owner == 4
+        assert home.sink.of_type(MessageType.WB_ACK)
+
+    def test_puts_removes_sharer_and_clean_owner(self, home):
+        entry = home.entry(BLOCK)
+        entry.sharers = {2, 3}
+        home.handle(
+            CoherenceMessage(MessageType.PUTS, BLOCK, sender=2, requester=2), cycle=0
+        )
+        assert entry.sharers == {3}
+        entry.owner = 5
+        home.handle(
+            CoherenceMessage(MessageType.PUTS, BLOCK, sender=5, requester=5), cycle=0
+        )
+        assert entry.owner is None
+
+
+class TestL2Eviction:
+    def test_dirty_victim_written_back(self, home):
+        sets = home.l2.num_sets
+        ways = home.l2.ways
+        base = 3
+        for i in range(ways):
+            home.l2.insert(base + i * sets, L2Line(version=1, dirty=(i == 0)))
+        home._install(base + ways * sets, version=1, dirty=False, cycle=0)
+        wbs = home.sink.of_type(MessageType.MEM_WRITE)
+        assert len(wbs) == 1
+        assert wbs[0][0].block == base  # the dirty LRU victim
+
+
+class TestMemoryController:
+    def test_read_latency(self):
+        sink = Sink()
+        memory = Memory()
+        memory.write(BLOCK, 4)
+        mc = MemoryController(0, memory, sink, latency=128)
+        mc.handle(
+            CoherenceMessage(MessageType.MEM_READ, BLOCK, sender=1, requester=1),
+            cycle=10,
+        )
+        for cycle in range(10, 138):
+            mc.step(cycle)
+            assert not sink.sent, cycle
+        mc.step(138)
+        ((msg, dest),) = sink.of_type(MessageType.MEM_DATA)
+        assert dest == 1 and msg.version == 4
+
+    def test_write_absorbed(self):
+        sink = Sink()
+        memory = Memory()
+        mc = MemoryController(0, memory, sink, latency=128)
+        mc.handle(
+            CoherenceMessage(
+                MessageType.MEM_WRITE, BLOCK, sender=1, requester=1, version=6
+            ),
+            cycle=0,
+        )
+        assert memory.read(BLOCK) == 6
+        assert not mc.busy
+
+    def test_memory_never_regresses(self):
+        memory = Memory()
+        memory.write(BLOCK, 5)
+        memory.write(BLOCK, 3)
+        assert memory.read(BLOCK) == 5
+
+    def test_early_notice_fires_before_response(self):
+        sink = Sink()
+        notices = []
+        mc = MemoryController(
+            0,
+            Memory(),
+            sink,
+            latency=20,
+            notice_lead=6,
+            early_notice=notices.append,
+        )
+        mc.handle(
+            CoherenceMessage(MessageType.MEM_READ, BLOCK, sender=1, requester=1),
+            cycle=0,
+        )
+        for cycle in range(25):
+            mc.step(cycle)
+        assert notices and notices[0] == 14  # 20 - 6

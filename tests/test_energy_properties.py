@@ -1,0 +1,66 @@
+"""Property tests for energy accounting: window additivity."""
+
+import random
+
+import pytest
+
+from repro.core import ConvOptPG, PowerPunchPG
+from repro.noc import Network, NoCConfig, VirtualNetwork, control_packet
+from repro.power import EnergyModel
+
+
+def drive(net, rng, cycles, rate=0.03):
+    n = net.config.num_nodes
+    for _ in range(cycles):
+        for node in range(n):
+            if rng.random() < rate:
+                dst = rng.randrange(n)
+                if dst != node:
+                    net.inject(
+                        control_packet(node, dst, VirtualNetwork(rng.randrange(3)), net.cycle)
+                    )
+        net.step()
+
+
+class TestWindowAdditivity:
+    @pytest.mark.parametrize("scheme_cls", [ConvOptPG, PowerPunchPG])
+    def test_energy_windows_sum_to_total(self, scheme_cls):
+        """account(0..T) == account(0..t1) + account(t1..T), for every
+        component — no energy is created or lost at window boundaries."""
+        rng = random.Random(5)
+        net = Network(NoCConfig(width=4, height=4), scheme_cls())
+        model = EnergyModel()
+        drive(net, rng, 400)
+        snap = model.snapshot(net)
+        first = model.account(net)
+        drive(net, rng, 400)
+        second = model.account(net, since=snap)
+        total = model.account(net)
+        assert total.dynamic == pytest.approx(first.dynamic + second.dynamic)
+        assert total.static == pytest.approx(first.static + second.static)
+        assert total.overhead == pytest.approx(first.overhead + second.overhead)
+        assert total.cycles == first.cycles + second.cycles
+
+    def test_components_nonnegative_always(self):
+        rng = random.Random(9)
+        net = Network(NoCConfig(width=4, height=4), PowerPunchPG())
+        model = EnergyModel()
+        prev = model.snapshot(net)
+        for _ in range(10):
+            drive(net, rng, 50)
+            window = model.account(net, since=prev)
+            assert window.dynamic >= 0
+            assert window.static >= 0
+            assert window.overhead >= 0
+            prev = model.snapshot(net)
+
+    def test_static_bounded_by_always_on(self):
+        """A gated network can never consume more static energy than an
+        always-on one over the same window."""
+        rng_a, rng_b = random.Random(3), random.Random(3)
+        net_pg = Network(NoCConfig(width=4, height=4), ConvOptPG())
+        net_on = Network(NoCConfig(width=4, height=4))
+        drive(net_pg, rng_a, 600)
+        drive(net_on, rng_b, 600)
+        model = EnergyModel()
+        assert model.account(net_pg).static <= model.account(net_on).static

@@ -1,0 +1,132 @@
+"""Tests for the experiment plumbing (records, tables, runners)."""
+
+import pytest
+
+from repro.experiments.common import (
+    SCHEMES,
+    SCHEME_ORDER,
+    RunRecord,
+    format_table,
+    geomean_ratio,
+    load_records,
+    make_scheme,
+    mean,
+    run_synthetic,
+    save_records,
+)
+
+
+def record(scheme="No-PG", latency=30.0, static=1.0, overhead=0.0):
+    return RunRecord(
+        workload="w",
+        scheme=scheme,
+        execution_time=1000,
+        avg_packet_latency=latency,
+        avg_total_latency=latency + 3,
+        avg_blocked_routers=0.5,
+        avg_wakeup_wait=1.0,
+        injection_rate=0.01,
+        dynamic_energy=0.2,
+        static_energy=static,
+        overhead_energy=overhead,
+        cycles=1000,
+    )
+
+
+class TestRunRecord:
+    def test_energy_helpers(self):
+        r = record(static=1.0, overhead=0.25)
+        assert r.net_static_energy == pytest.approx(1.25)
+        assert r.total_energy == pytest.approx(1.45)
+
+    def test_json_roundtrip(self, tmp_path):
+        path = str(tmp_path / "records.json")
+        records = [record(), record(scheme="ConvOpt-PG", latency=50.0)]
+        save_records(records, path)
+        loaded = load_records(path)
+        assert loaded == records
+
+
+class TestSchemeRegistry:
+    def test_four_schemes_in_paper_order(self):
+        assert SCHEME_ORDER == [
+            "No-PG",
+            "ConvOpt-PG",
+            "PowerPunch-Signal",
+            "PowerPunch-PG",
+        ]
+
+    def test_make_scheme_passes_kwargs(self):
+        scheme = make_scheme("PowerPunch-PG", wakeup_latency=12)
+        assert scheme.wakeup_latency == 12
+
+    def test_make_scheme_nopg_ignores_kwargs(self):
+        scheme = make_scheme("No-PG")
+        assert scheme.name == "No-PG"
+
+    def test_unknown_scheme_raises(self):
+        with pytest.raises(KeyError):
+            make_scheme("Magic-PG")
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "2.500" in lines[3]
+
+    def test_format_table_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+    def test_geomean(self):
+        assert geomean_ratio([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean_ratio([]) == 0.0
+
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert mean([]) == 0.0
+
+
+class TestRunSynthetic:
+    def test_returns_populated_record(self):
+        rec = run_synthetic(
+            "uniform_random", 0.02, "No-PG", warmup=200, measurement=800
+        )
+        assert rec.scheme == "No-PG"
+        assert rec.avg_packet_latency > 0
+        assert rec.injection_rate > 0
+        assert rec.static_energy > 0
+        assert rec.overhead_energy == 0
+
+    def test_pg_record_has_overhead(self):
+        rec = run_synthetic(
+            "uniform_random", 0.02, "ConvOpt-PG", warmup=200, measurement=800
+        )
+        assert rec.overhead_energy > 0
+        assert rec.avg_blocked_routers > 0
+
+
+class TestCsvExport:
+    def test_save_csv_roundtrip(self, tmp_path):
+        import csv
+
+        from repro.experiments.common import save_csv
+
+        path = str(tmp_path / "out.csv")
+        save_csv([record(), record(scheme="ConvOpt-PG")], path)
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 2
+        assert rows[1]["scheme"] == "ConvOpt-PG"
+        assert float(rows[0]["avg_packet_latency"]) == 30.0
+
+    def test_save_csv_empty(self, tmp_path):
+        from repro.experiments.common import save_csv
+
+        path = str(tmp_path / "empty.csv")
+        save_csv([], path)
+        assert open(path).read() == ""

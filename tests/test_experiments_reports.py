@@ -1,0 +1,78 @@
+"""Tests for the per-figure report generators (fast: synthetic records)."""
+
+import pytest
+
+from repro.experiments import fig7_fig8, fig9_fig10, fig11, headline
+from repro.experiments.common import RunRecord
+
+
+def make_record(bench, scheme, latency, exec_time, blocked, wait, static, overhead):
+    return RunRecord(
+        workload=bench,
+        scheme=scheme,
+        execution_time=exec_time,
+        avg_packet_latency=latency,
+        avg_total_latency=latency + 3,
+        avg_blocked_routers=blocked,
+        avg_wakeup_wait=wait,
+        injection_rate=0.01,
+        dynamic_energy=0.2,
+        static_energy=static,
+        overhead_energy=overhead,
+        cycles=exec_time,
+    )
+
+
+@pytest.fixture
+def records():
+    rows = []
+    for bench in ("alpha", "beta"):
+        rows.append(make_record(bench, "No-PG", 30.0, 1000, 0.0, 0.0, 1.0, 0.0))
+        rows.append(make_record(bench, "ConvOpt-PG", 52.0, 1100, 4.2, 20.0, 0.2, 0.05))
+        rows.append(
+            make_record(bench, "PowerPunch-Signal", 34.0, 1020, 1.1, 5.0, 0.19, 0.06)
+        )
+        rows.append(
+            make_record(bench, "PowerPunch-PG", 32.0, 1005, 0.9, 1.8, 0.18, 0.06)
+        )
+    return rows
+
+
+class TestFig7Fig8Report:
+    def test_contains_tables_and_headline(self, records):
+        out = fig7_fig8.report(records)
+        assert "Figure 7" in out and "Figure 8" in out
+        assert "paper +69.1%" in out
+        assert "alpha" in out and "beta" in out
+
+    def test_normalized_execution_row(self, records):
+        out = fig7_fig8.report(records)
+        assert "AVG" in out
+
+
+class TestFig9Fig10Report:
+    def test_blocked_and_wait_tables(self, records):
+        out = fig9_fig10.report(records)
+        assert "Figure 9" in out and "Figure 10" in out
+        assert "4.200" in out  # ConvOpt blocked
+        assert "1.800" in out  # PP-PG wait
+
+
+class TestFig11Report:
+    def test_breakdown_normalized(self, records):
+        out = fig11.report(records)
+        assert "dynamic" in out and "pg-overhead" in out
+        assert "net router static energy saved" in out
+
+
+class TestHeadline:
+    def test_compute_headline_values(self, records):
+        h = headline.compute_headline(records)
+        assert h["latency_penalty"]["ConvOpt-PG"] == pytest.approx(22 / 33, rel=1e-6)
+        assert h["execution_penalty"]["PowerPunch-PG"] == pytest.approx(0.005)
+        assert h["static_saved"]["PowerPunch-PG"] == pytest.approx(1 - 0.24)
+        assert 0 < h["penalty_reduction_vs_convopt"] < 1
+
+    def test_report_mentions_paper_values(self, records):
+        out = headline.report(records)
+        assert ">83%" in out and "61.2%" in out

@@ -1,0 +1,76 @@
+"""Tests for coherence message definitions and VN mapping."""
+
+import pytest
+
+from repro.noc import VirtualNetwork
+from repro.system import CoherenceMessage, MessageType
+
+
+class TestVNMapping:
+    def test_requests_on_vn0(self):
+        for mtype in (
+            MessageType.GETS,
+            MessageType.GETM,
+            MessageType.PUTS,
+            MessageType.PUTM,
+            MessageType.MEM_READ,
+            MessageType.MEM_WRITE,
+        ):
+            assert mtype.vnet == VirtualNetwork.REQUEST
+
+    def test_forwards_on_vn1(self):
+        for mtype in (MessageType.FWD_GETS, MessageType.FWD_GETM, MessageType.INV):
+            assert mtype.vnet == VirtualNetwork.FORWARD
+
+    def test_responses_on_vn2(self):
+        for mtype in (
+            MessageType.DATA,
+            MessageType.DATA_E,
+            MessageType.OWNER_DATA,
+            MessageType.ACK_COUNT,
+            MessageType.INV_ACK,
+            MessageType.WB_ACK,
+            MessageType.FWD_NACK,
+            MessageType.MEM_DATA,
+        ):
+            assert mtype.vnet == VirtualNetwork.RESPONSE
+
+    def test_every_type_mapped(self):
+        for mtype in MessageType:
+            assert mtype.vnet in VirtualNetwork
+
+
+class TestSizes:
+    def test_data_messages_are_five_flits(self):
+        for mtype in (
+            MessageType.DATA,
+            MessageType.DATA_E,
+            MessageType.OWNER_DATA,
+            MessageType.MEM_DATA,
+            MessageType.PUTM,
+            MessageType.MEM_WRITE,
+        ):
+            msg = CoherenceMessage(mtype, 1, sender=0)
+            assert msg.size_flits == 5, mtype
+
+    def test_control_messages_are_one_flit(self):
+        for mtype in (
+            MessageType.GETS,
+            MessageType.INV,
+            MessageType.INV_ACK,
+            MessageType.WB_ACK,
+        ):
+            msg = CoherenceMessage(mtype, 1, sender=0)
+            assert msg.size_flits == 1, mtype
+
+
+class TestPacketConversion:
+    def test_to_packet_carries_message(self):
+        msg = CoherenceMessage(MessageType.GETS, 42, sender=3, requester=3)
+        packet = msg.to_packet(source=3, destination=10, cycle=100)
+        assert packet.payload is msg
+        assert packet.source == 3
+        assert packet.destination == 10
+        assert packet.vnet == VirtualNetwork.REQUEST
+        assert packet.size_flits == 1
+        assert packet.created_at == 100

@@ -1,0 +1,43 @@
+"""Tests for NI queue capacity and misc interface edges."""
+
+import pytest
+
+from repro.noc import Network, NoCConfig, VirtualNetwork, control_packet
+
+
+class TestQueueCapacity:
+    def test_unbounded_by_default(self):
+        net = Network(NoCConfig(width=4, height=4))
+        for _ in range(100):
+            net.inject(control_packet(0, 5, VirtualNetwork.REQUEST, net.cycle))
+        assert net.interfaces[0].pending_packets() == 100
+
+    def test_bounded_queue_raises_on_overflow(self):
+        net = Network(NoCConfig(width=4, height=4, ni_queue_capacity=4))
+        for _ in range(4):
+            net.inject(control_packet(0, 5, VirtualNetwork.REQUEST, net.cycle))
+        with pytest.raises(RuntimeError, match="overflow"):
+            net.inject(control_packet(0, 5, VirtualNetwork.REQUEST, net.cycle))
+
+    def test_capacity_is_per_vnet(self):
+        net = Network(NoCConfig(width=4, height=4, ni_queue_capacity=2))
+        for vn in VirtualNetwork:
+            for _ in range(2):
+                net.inject(control_packet(0, 5, vn, net.cycle))
+        assert net.interfaces[0].pending_packets() == 6
+
+
+class TestInFlightAccounting:
+    def test_in_flight_packets_tracks_progress(self):
+        net = Network(NoCConfig(width=4, height=4))
+        assert net.in_flight_packets() == 0
+        net.inject(control_packet(0, 15, VirtualNetwork.REQUEST, net.cycle))
+        assert net.in_flight_packets() > 0
+        net.run_until_drained(500)
+        assert net.in_flight_packets() == 0
+
+    def test_run_until_drained_raises_on_deadline(self):
+        net = Network(NoCConfig(width=4, height=4))
+        net.inject(control_packet(0, 15, VirtualNetwork.REQUEST, net.cycle))
+        with pytest.raises(RuntimeError, match="drain"):
+            net.run_until_drained(max_cycles=2)

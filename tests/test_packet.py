@@ -1,0 +1,84 @@
+"""Tests for messages, packets and flits."""
+
+import pytest
+
+from repro.noc import VirtualNetwork, control_packet, data_packet
+from repro.noc.packet import Packet, make_flits, reset_packet_ids
+
+
+class TestPacketConstruction:
+    def test_control_packet_is_single_flit(self):
+        p = control_packet(0, 5, VirtualNetwork.REQUEST, 10)
+        assert p.size_flits == 1
+        assert p.created_at == 10
+
+    def test_data_packet_is_five_flits(self):
+        # 64B block on a 128-bit link: 4 payload flits + 1 head.
+        p = data_packet(0, 5, VirtualNetwork.RESPONSE, 0)
+        assert p.size_flits == 5
+
+    def test_packet_ids_unique_and_monotonic(self):
+        reset_packet_ids()
+        a = control_packet(0, 1, VirtualNetwork.REQUEST, 0)
+        b = control_packet(0, 1, VirtualNetwork.REQUEST, 0)
+        assert b.packet_id == a.packet_id + 1
+
+    def test_payload_carried(self):
+        token = object()
+        p = control_packet(0, 1, VirtualNetwork.FORWARD, 0, payload=token)
+        assert p.payload is token
+
+
+class TestFlits:
+    def test_make_flits_marks_head_and_tail(self):
+        p = data_packet(0, 1, VirtualNetwork.RESPONSE, 0)
+        flits = make_flits(p)
+        assert len(flits) == 5
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        p = control_packet(0, 1, VirtualNetwork.REQUEST, 0)
+        (flit,) = make_flits(p)
+        assert flit.is_head and flit.is_tail
+
+    def test_flits_reference_packet(self):
+        p = data_packet(2, 3, VirtualNetwork.RESPONSE, 0)
+        for f in make_flits(p):
+            assert f.packet is p
+
+
+class TestLatencyProperties:
+    def test_latencies_none_until_delivered(self):
+        p = control_packet(0, 1, VirtualNetwork.REQUEST, 5)
+        assert p.network_latency is None
+        assert p.total_latency is None
+
+    def test_latency_computation(self):
+        p = control_packet(0, 1, VirtualNetwork.REQUEST, 5)
+        p.injected_at = 9
+        p.delivered_at = 30
+        assert p.network_latency == 21
+        assert p.total_latency == 25
+
+    def test_blocking_measurement_defaults(self):
+        p = control_packet(0, 1, VirtualNetwork.REQUEST, 0)
+        assert p.blocked_routers == set()
+        assert p.wakeup_wait_cycles == 0
+
+    def test_blocked_routers_is_a_set(self):
+        p = control_packet(0, 1, VirtualNetwork.REQUEST, 0)
+        p.blocked_routers.add(4)
+        p.blocked_routers.add(4)
+        assert len(p.blocked_routers) == 1
+
+
+class TestVirtualNetworks:
+    def test_three_vnets(self):
+        assert len(VirtualNetwork) == 3
+
+    def test_vnet_values(self):
+        assert int(VirtualNetwork.REQUEST) == 0
+        assert int(VirtualNetwork.FORWARD) == 1
+        assert int(VirtualNetwork.RESPONSE) == 2

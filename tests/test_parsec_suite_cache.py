@@ -1,0 +1,74 @@
+"""Tests for the shared PARSEC-sweep runner and its JSON cache."""
+
+import json
+
+import pytest
+
+from repro.experiments.parsec_suite import run_suite, suite_records
+
+
+class TestRunSuite:
+    def test_small_suite_runs(self):
+        records = run_suite(
+            benchmarks=["swaptions"],
+            schemes=["No-PG", "PowerPunch-PG"],
+            instructions=200,
+            verbose=False,
+        )
+        assert len(records) == 2
+        assert {r.scheme for r in records} == {"No-PG", "PowerPunch-PG"}
+        assert all(r.workload == "swaptions" for r in records)
+
+    def test_records_ordered_by_benchmark_then_scheme(self):
+        records = run_suite(
+            benchmarks=["swaptions", "blackscholes"],
+            schemes=["No-PG"],
+            instructions=150,
+            verbose=False,
+        )
+        assert [r.workload for r in records] == ["swaptions", "blackscholes"]
+
+
+class TestSuiteCache:
+    def test_cache_round_trip(self, tmp_path):
+        path = str(tmp_path / "suite.json")
+        first = suite_records(
+            path, instructions=150, benchmarks=["swaptions"], verbose=False
+        )
+        assert (tmp_path / "suite.json").exists()
+        second = suite_records(path)
+        assert second == first
+
+    def test_corrupt_cache_falls_back_to_running(self, tmp_path):
+        path = tmp_path / "suite.json"
+        path.write_text("not json at all")
+        records = suite_records(
+            str(path), instructions=150, benchmarks=["swaptions"], verbose=False
+        )
+        assert records
+        # The cache was repaired.
+        assert json.loads(path.read_text())
+
+    def test_no_cache_path_runs_fresh(self):
+        records = suite_records(
+            None, instructions=150, benchmarks=["swaptions"], verbose=False
+        )
+        assert len(records) == 4  # all four schemes
+
+
+class TestParallelSuite:
+    def test_parallel_matches_sequential(self):
+        seq = run_suite(
+            benchmarks=["swaptions"],
+            schemes=["No-PG", "PowerPunch-PG"],
+            instructions=200,
+            verbose=False,
+        )
+        par = run_suite(
+            benchmarks=["swaptions"],
+            schemes=["No-PG", "PowerPunch-PG"],
+            instructions=200,
+            verbose=False,
+            workers=2,
+        )
+        assert par == seq

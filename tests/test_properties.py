@@ -1,0 +1,124 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import PunchEncodingAnalysis, PunchFabric
+from repro.noc import Direction, MeshTopology, XYRouting
+
+TOPO = MeshTopology(8, 8)
+ROUTING = XYRouting(TOPO)
+ANALYSIS = PunchEncodingAnalysis(TOPO, hops=3)
+
+nodes = st.integers(min_value=0, max_value=TOPO.num_nodes - 1)
+
+
+class TestRoutingProperties:
+    @given(src=nodes, dst=nodes)
+    def test_path_length_is_manhattan_distance(self, src, dst):
+        path = ROUTING.path(src, dst)
+        assert len(path) - 1 == TOPO.hop_distance(src, dst)
+
+    @given(src=nodes, dst=nodes)
+    def test_path_nodes_unique(self, src, dst):
+        path = ROUTING.path(src, dst)
+        assert len(set(path)) == len(path)
+
+    @given(src=nodes, dst=nodes)
+    def test_path_x_moves_precede_y_moves(self, src, dst):
+        path = ROUTING.path(src, dst)
+        seen_y = False
+        for a, b in zip(path, path[1:]):
+            direction = TOPO.direction_to_neighbor(a, b)
+            if direction.is_y:
+                seen_y = True
+            else:
+                assert not seen_y, "X move after a Y move violates XY routing"
+
+    @given(src=nodes, dst=nodes, hops=st.integers(min_value=0, max_value=6))
+    def test_router_ahead_is_on_path(self, src, dst, hops):
+        target = ROUTING.router_ahead(src, dst, hops)
+        assert target in ROUTING.path(src, dst)
+
+    @given(src=nodes, dst=nodes)
+    def test_next_hop_reduces_distance(self, src, dst):
+        if src == dst:
+            return
+        nxt = ROUTING.next_hop(src, dst)
+        assert TOPO.hop_distance(nxt, dst) == TOPO.hop_distance(src, dst) - 1
+
+
+class TestCanonicalizationProperties:
+    targets = st.sets(nodes, min_size=1, max_size=5)
+
+    @given(targets=targets, link_dst=nodes)
+    def test_canonical_is_subset(self, targets, link_dst):
+        canon = ANALYSIS.canonicalize(frozenset(targets), link_dst)
+        assert canon <= targets
+
+    @given(targets=targets, link_dst=nodes)
+    def test_canonical_is_idempotent(self, targets, link_dst):
+        canon = ANALYSIS.canonicalize(frozenset(targets), link_dst)
+        assert ANALYSIS.canonicalize(canon, link_dst) == canon
+
+    @given(targets=targets, link_dst=nodes)
+    def test_canonical_covers_all_targets(self, targets, link_dst):
+        """Every dropped target lies on the relay path of a kept one —
+        waking the kept targets implicitly wakes everything dropped."""
+        canon = ANALYSIS.canonicalize(frozenset(targets), link_dst)
+        covered = set()
+        for kept in canon:
+            covered.update(ROUTING.path(link_dst, kept))
+        assert targets <= covered | canon
+
+    @given(targets=targets, link_dst=nodes)
+    def test_canonical_nonempty(self, targets, link_dst):
+        assert ANALYSIS.canonicalize(frozenset(targets), link_dst)
+
+
+class TestPunchFabricProperties:
+    @given(origin=nodes, target_set=st.sets(nodes, min_size=1, max_size=4))
+    @settings(max_examples=50)
+    def test_every_target_is_eventually_woken(self, origin, target_set):
+        woken = []
+        fabric = PunchFabric(ROUTING, lambda r, c: woken.append(r))
+        fabric.send_local(origin, target_set, cycle=0)
+        for cycle in range(1, 20):
+            fabric.deliver(cycle)
+        assert set(target_set) <= set(woken)
+
+    @given(origin=nodes, target=nodes)
+    @settings(max_examples=50)
+    def test_delivery_time_equals_hop_distance(self, origin, target):
+        events = []
+        fabric = PunchFabric(ROUTING, lambda r, c: events.append((r, c)))
+        fabric.send_local(origin, {target}, cycle=0)
+        for cycle in range(1, 20):
+            fabric.deliver(cycle)
+        arrival = max(c for r, c in events if r == target)
+        assert arrival == TOPO.hop_distance(origin, target)
+
+    @given(origin=nodes, target=nodes)
+    @settings(max_examples=50)
+    def test_punch_touches_exactly_the_xy_path(self, origin, target):
+        touched = []
+        fabric = PunchFabric(ROUTING, lambda r, c: touched.append(r))
+        fabric.send_local(origin, {target}, cycle=0)
+        for cycle in range(1, 20):
+            fabric.deliver(cycle)
+        assert touched == ROUTING.path(origin, target)
+
+
+class TestEncodingWidthProperties:
+    @given(router=st.sampled_from([9, 18, 27, 36, 45]))
+    @settings(max_examples=5, deadline=None)
+    def test_interior_x_links_need_at_most_5_bits(self, router):
+        enc = ANALYSIS.analyze_link(router, Direction.XPOS)
+        assert enc.width_bits <= 5
+
+    @given(router=st.sampled_from([9, 18, 27, 36, 45]))
+    @settings(max_examples=5, deadline=None)
+    def test_interior_y_links_need_at_most_2_bits(self, router):
+        enc = ANALYSIS.analyze_link(router, Direction.YPOS)
+        assert enc.width_bits <= 2

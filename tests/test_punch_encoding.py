@@ -1,0 +1,140 @@
+"""Tests for the punch-signal encoding analysis (Table 1, Fig. 5)."""
+
+import pytest
+
+from repro.core import PunchEncodingAnalysis
+from repro.noc import Direction, MeshTopology
+
+
+@pytest.fixture(scope="module")
+def analysis():
+    return PunchEncodingAnalysis(MeshTopology(8, 8), hops=3)
+
+
+class TestSources:
+    def test_xpos_sources_of_r27(self, analysis):
+        # Paper Sec. 4.1 step 3: XY turn restrictions leave only
+        # R25, R26 and R27 as possible sources on the R27->R28 link.
+        enc = analysis.analyze_link(27, Direction.XPOS)
+        assert enc.sources == (25, 26, 27)
+
+    def test_xpos_target_counts_of_r27(self, analysis):
+        # Step 4: "R27 has 9 possible targeted routers; R26 has 4
+        # (R20, R28, R29, R36) and R25 has 1 (R28)".
+        enc = analysis.analyze_link(27, Direction.XPOS)
+        assert len(enc.targets_by_source[27]) == 9
+        assert enc.targets_by_source[26] == frozenset({20, 28, 29, 36})
+        assert enc.targets_by_source[25] == frozenset({28})
+
+    def test_r27_nine_targets_exact(self, analysis):
+        enc = analysis.analyze_link(27, Direction.XPOS)
+        assert enc.targets_by_source[27] == frozenset(
+            {12, 20, 21, 28, 29, 30, 36, 37, 44}
+        )
+
+    def test_ypos_sources_numerous_but_targets_limited(self, analysis):
+        enc = analysis.analyze_link(27, Direction.YPOS)
+        assert len(enc.sources) == 9
+        all_targets = set()
+        for ts in enc.targets_by_source.values():
+            all_targets |= ts
+        assert all_targets == {35, 43, 51}
+
+
+class TestDistinctSets:
+    def test_table1_has_22_sets(self, analysis):
+        # The paper's Table 1: 22 distinct sets of targeted routers in
+        # the X+ direction of R27.
+        enc = analysis.analyze_link(27, Direction.XPOS)
+        assert len(enc.distinct_sets) == 22
+
+    def test_table1_singletons_present(self, analysis):
+        enc = analysis.analyze_link(27, Direction.XPOS)
+        singles = {s for s in enc.distinct_sets if len(s) == 1}
+        assert singles == {
+            frozenset({t}) for t in (12, 20, 21, 28, 29, 30, 36, 37, 44)
+        }
+
+    def test_table1_pairs_match_paper(self, analysis):
+        enc = analysis.analyze_link(27, Direction.XPOS)
+        pairs = {tuple(sorted(s)) for s in enc.distinct_sets if len(s) == 2}
+        expected = {
+            (12, 29), (12, 36), (20, 21), (21, 36), (20, 30), (30, 36),
+            (20, 37), (36, 37), (20, 44), (29, 44), (20, 29), (20, 36),
+            (29, 36),
+        }
+        assert pairs == expected
+
+    def test_ypos_three_sets(self, analysis):
+        enc = analysis.analyze_link(27, Direction.YPOS)
+        assert set(enc.distinct_sets) == {
+            frozenset({35}), frozenset({43}), frozenset({51})
+        }
+
+
+class TestCanonicalization:
+    def test_paper_example_29_implicit_in_21(self, analysis):
+        # "R26 to R29 is along the path from R27 to R21": {29, 21}
+        # collapses to {21} on the R27->R28 link (link_dst = 28).
+        assert analysis.canonicalize(frozenset({29, 21}), 28) == frozenset({21})
+
+    def test_link_destination_always_implicit(self, analysis):
+        assert analysis.canonicalize(frozenset({28, 12}), 28) == frozenset({12})
+
+    def test_independent_targets_kept(self, analysis):
+        assert analysis.canonicalize(frozenset({36, 21}), 28) == frozenset({36, 21})
+
+    def test_straight_line_chain_collapses(self, analysis):
+        assert analysis.canonicalize(frozenset({35, 43, 51}), 35) == frozenset({51})
+
+    def test_singleton_unchanged(self, analysis):
+        assert analysis.canonicalize(frozenset({30}), 28) == frozenset({30})
+
+
+class TestWidths:
+    def test_3hop_widths_match_figure5(self, analysis):
+        # Fig. 5: 5-bit punch signals on X links, 2-bit on Y links.
+        assert analysis.max_width("x") == 5
+        assert analysis.max_width("y") == 2
+
+    def test_4hop_widths_match_section41(self):
+        # "for the case of 4-hop wakeup signal slack, the width of punch
+        # signals is 8-bit for the X directions and 2-bit for the Y".
+        # Our exhaustive enumeration confirms 8 bits on X.  On Y it
+        # finds four straight-line targets ({35},{43},{51},{59}) which
+        # plus the idle code need 3 bits, one more than the paper
+        # claims — see EXPERIMENTS.md for this discrepancy note.
+        analysis4 = PunchEncodingAnalysis(MeshTopology(8, 8), hops=4)
+        enc = analysis4.analyze_link(27, Direction.XPOS)
+        assert enc.width_bits == 8
+        assert len(analysis4.analyze_link(27, Direction.YPOS).distinct_sets) == 4
+        assert analysis4.analyze_link(27, Direction.YPOS).width_bits == 3
+
+    def test_widths_independent_of_network_size(self):
+        # Sec. 6.6(2): punch width depends on hop slack, not mesh size.
+        small = PunchEncodingAnalysis(MeshTopology(4, 4), hops=3)
+        big = PunchEncodingAnalysis(MeshTopology(16, 16), hops=3)
+        # Compare a fully interior router in each mesh.
+        small_enc = small.analyze_link(5, Direction.XPOS)
+        big_enc = big.analyze_link(16 * 8 + 8, Direction.XPOS)
+        assert small_enc.width_bits <= 5
+        assert big_enc.width_bits == 5
+
+    def test_2hop_design_is_narrower(self):
+        analysis2 = PunchEncodingAnalysis(MeshTopology(8, 8), hops=2)
+        enc = analysis2.analyze_link(27, Direction.XPOS)
+        assert enc.width_bits < 5
+
+
+class TestEncodingTable:
+    def test_codes_unique_and_fit_width(self, analysis):
+        table = analysis.encoding_table(27, Direction.XPOS)
+        codes = [code for _, code in table]
+        assert len(set(codes)) == len(codes) == 22
+        assert all(len(code) == 5 for code in codes)
+
+    def test_edge_router_narrower_or_equal(self, analysis):
+        # Edge routers see fewer sources; their links never need more
+        # bits than the interior worst case.
+        enc = analysis.analyze_link(0, Direction.XPOS)
+        assert enc.width_bits <= 5

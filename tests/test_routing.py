@@ -1,0 +1,122 @@
+"""Tests for XY dimension-order routing."""
+
+import pytest
+
+from repro.noc import Direction, MeshTopology, XYRouting
+
+
+@pytest.fixture
+def routing():
+    return XYRouting(MeshTopology(8, 8))
+
+
+class TestOutputDirection:
+    def test_x_first(self, routing):
+        # From R26 toward R31: X+ first (paper Sec. 4.1 step 1 example).
+        assert routing.output_direction(26, 31) == Direction.XPOS
+
+    def test_y_after_x_aligned(self, routing):
+        assert routing.output_direction(27, 59) == Direction.YPOS
+        assert routing.output_direction(27, 3) == Direction.YNEG
+
+    def test_negative_x(self, routing):
+        assert routing.output_direction(27, 24) == Direction.XNEG
+
+    def test_at_destination_is_local(self, routing):
+        assert routing.output_direction(27, 27) == Direction.LOCAL
+
+    def test_next_hop(self, routing):
+        assert routing.next_hop(26, 31) == 27
+        assert routing.next_hop(27, 27) is None
+
+
+class TestPath:
+    def test_path_x_then_y(self, routing):
+        # 26 -> 29 -> then down to 45: X first, then Y.
+        assert routing.path(26, 45) == [26, 27, 28, 29, 37, 45]
+
+    def test_path_endpoints(self, routing):
+        p = routing.path(0, 63)
+        assert p[0] == 0 and p[-1] == 63
+        assert len(p) == routing.hops(0, 63) + 1
+
+    def test_path_is_minimal(self, routing):
+        topo = routing.topology
+        for src, dst in [(0, 63), (7, 56), (27, 36), (12, 12)]:
+            assert routing.hops(src, dst) == topo.hop_distance(src, dst)
+
+    def test_consecutive_path_nodes_adjacent(self, routing):
+        p = routing.path(5, 58)
+        for a, b in zip(p, p[1:]):
+            assert routing.topology.hop_distance(a, b) == 1
+
+
+class TestRouterAhead:
+    def test_paper_example_r3_to_r7(self, routing):
+        # Packet with source R0, destination R7, currently at R3:
+        # the 3-hop targeted router is R6 (Sec. 4.1).
+        assert routing.router_ahead(3, 7, 3) == 6
+
+    def test_clamps_at_destination(self, routing):
+        assert routing.router_ahead(26, 28, 3) == 28
+        assert routing.router_ahead(26, 26, 3) == 26
+
+    def test_follows_xy_turns(self, routing):
+        # From 26 to destination 44: path 26,27,28,36,44 - 3 ahead is 36.
+        assert routing.router_ahead(26, 44, 3) == 36
+
+    def test_zero_hops_is_current(self, routing):
+        assert routing.router_ahead(26, 44, 0) == 26
+
+    def test_negative_hops_rejected(self, routing):
+        with pytest.raises(ValueError):
+            routing.router_ahead(26, 44, -1)
+
+
+class TestTurnLegality:
+    def test_y_to_x_turns_illegal(self):
+        # Paper: "path R19->R27->R28 is not valid as Y+ to X+ turns are
+        # illegal".  A packet moving Y+ arrives on the YNEG port.
+        assert not XYRouting.is_turn_legal(Direction.YNEG, Direction.XPOS)
+        assert not XYRouting.is_turn_legal(Direction.YNEG, Direction.XNEG)
+        assert not XYRouting.is_turn_legal(Direction.YPOS, Direction.XPOS)
+
+    def test_x_to_y_turns_legal(self):
+        assert XYRouting.is_turn_legal(Direction.XNEG, Direction.YPOS)
+        assert XYRouting.is_turn_legal(Direction.XPOS, Direction.YNEG)
+
+    def test_straight_through_legal(self):
+        assert XYRouting.is_turn_legal(Direction.XNEG, Direction.XPOS)
+        assert XYRouting.is_turn_legal(Direction.YPOS, Direction.YNEG)
+
+    def test_u_turns_illegal(self):
+        assert not XYRouting.is_turn_legal(Direction.XNEG, Direction.XNEG)
+        assert not XYRouting.is_turn_legal(Direction.YPOS, Direction.YPOS)
+
+    def test_local_always_legal(self):
+        for d in Direction:
+            assert XYRouting.is_turn_legal(Direction.LOCAL, d)
+            assert XYRouting.is_turn_legal(d, Direction.LOCAL)
+
+    def test_all_generated_paths_respect_turn_rules(self, routing):
+        topo = routing.topology
+        for src in (0, 27, 63, 12):
+            for dst in range(topo.num_nodes):
+                if dst == src:
+                    continue
+                p = routing.path(src, dst)
+                incoming = Direction.LOCAL
+                for a, b in zip(p, p[1:]):
+                    outgoing = topo.direction_to_neighbor(a, b)
+                    assert XYRouting.is_turn_legal(incoming, outgoing)
+                    incoming = outgoing.opposite
+
+
+class TestUsesLink:
+    def test_link_on_path(self, routing):
+        assert routing.uses_link(26, 29, 27, 28)
+        assert routing.uses_link(26, 29, 26, 27)
+
+    def test_link_off_path(self, routing):
+        assert not routing.uses_link(26, 29, 28, 27)  # wrong direction
+        assert not routing.uses_link(26, 29, 27, 35)  # not on path

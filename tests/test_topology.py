@@ -1,0 +1,114 @@
+"""Tests for the 2D mesh topology."""
+
+import pytest
+
+from repro.noc import Direction, MeshTopology
+
+
+class TestCoordinates:
+    def test_row_major_numbering(self):
+        topo = MeshTopology(8, 8)
+        assert topo.node_at(0, 0) == 0
+        assert topo.node_at(7, 0) == 7
+        assert topo.node_at(3, 3) == 27
+        assert topo.node_at(7, 7) == 63
+
+    def test_coord_roundtrip(self):
+        topo = MeshTopology(5, 3)
+        for node in range(topo.num_nodes):
+            c = topo.coord(node)
+            assert topo.node_at(c.x, c.y) == node
+
+    def test_rectangular_mesh(self):
+        topo = MeshTopology(4, 2)
+        assert topo.num_nodes == 8
+        assert topo.coord(5).x == 1
+        assert topo.coord(5).y == 1
+
+    def test_out_of_range_node_rejected(self):
+        topo = MeshTopology(4)
+        with pytest.raises(ValueError):
+            topo.coord(16)
+        with pytest.raises(ValueError):
+            topo.coord(-1)
+
+    def test_out_of_range_coordinate_rejected(self):
+        topo = MeshTopology(4)
+        with pytest.raises(ValueError):
+            topo.node_at(4, 0)
+
+    def test_too_small_mesh_rejected(self):
+        with pytest.raises(ValueError):
+            MeshTopology(1, 8)
+
+
+class TestNeighbors:
+    def test_interior_neighbors_match_paper_figure4(self):
+        # R27 in the paper's 8x8 Figure 4: X+ is R28, Y+ is R35.
+        topo = MeshTopology(8, 8)
+        assert topo.neighbor(27, Direction.XPOS) == 28
+        assert topo.neighbor(27, Direction.XNEG) == 26
+        assert topo.neighbor(27, Direction.YPOS) == 35
+        assert topo.neighbor(27, Direction.YNEG) == 19
+
+    def test_edge_neighbors_are_none(self):
+        topo = MeshTopology(4, 4)
+        assert topo.neighbor(0, Direction.XNEG) is None
+        assert topo.neighbor(0, Direction.YNEG) is None
+        assert topo.neighbor(3, Direction.XPOS) is None
+        assert topo.neighbor(15, Direction.YPOS) is None
+
+    def test_local_neighbor_is_self(self):
+        topo = MeshTopology(4, 4)
+        assert topo.neighbor(5, Direction.LOCAL) == 5
+
+    def test_corner_has_two_neighbors(self):
+        topo = MeshTopology(4, 4)
+        assert len(list(topo.neighbors(0))) == 2
+        assert len(list(topo.neighbors(15))) == 2
+
+    def test_interior_has_four_neighbors(self):
+        topo = MeshTopology(4, 4)
+        assert len(list(topo.neighbors(5))) == 4
+
+    def test_direction_to_neighbor(self):
+        topo = MeshTopology(4, 4)
+        assert topo.direction_to_neighbor(5, 6) == Direction.XPOS
+        assert topo.direction_to_neighbor(5, 9) == Direction.YPOS
+        with pytest.raises(ValueError):
+            topo.direction_to_neighbor(5, 7)
+
+    def test_opposite_directions(self):
+        assert Direction.XPOS.opposite == Direction.XNEG
+        assert Direction.YNEG.opposite == Direction.YPOS
+        assert Direction.LOCAL.opposite == Direction.LOCAL
+
+    def test_link_count(self):
+        # 2 * (w-1) * h horizontal + 2 * w * (h-1) vertical directed links.
+        topo = MeshTopology(8, 8)
+        assert len(list(topo.links())) == 2 * 7 * 8 + 2 * 8 * 7
+
+
+class TestDistance:
+    def test_hop_distance_is_manhattan(self):
+        topo = MeshTopology(8, 8)
+        assert topo.hop_distance(0, 63) == 14
+        assert topo.hop_distance(27, 27) == 0
+        assert topo.hop_distance(27, 28) == 1
+        assert topo.hop_distance(3, 27) == 3
+
+    def test_nodes_within_matches_paper_section3(self):
+        # "There are 24 routers within 3 hops of router 27 ... nearly
+        # 38% of all routers on the chip."
+        topo = MeshTopology(8, 8)
+        within = topo.nodes_within(27, 3)
+        assert len(within) == 24
+        assert 24 / topo.num_nodes == pytest.approx(0.375)
+
+    def test_nodes_within_excludes_self(self):
+        topo = MeshTopology(4, 4)
+        assert 5 not in topo.nodes_within(5, 2)
+
+    def test_nodes_within_one_hop(self):
+        topo = MeshTopology(4, 4)
+        assert sorted(topo.nodes_within(5, 1)) == [1, 4, 6, 9]

@@ -1,0 +1,138 @@
+"""Tests for the visualization helpers and the packet tracer."""
+
+import pytest
+
+from repro.core import ConvOptPG, NoPG
+from repro.noc import MeshTopology, Network, NoCConfig, VirtualNetwork, control_packet
+from repro.noc.tracing import PacketTracer
+from repro.viz import (
+    gated_fraction_map,
+    latency_histogram,
+    mesh_heatmap,
+    scheme_comparison_bars,
+    shade,
+    wake_events_map,
+)
+
+
+class TestShade:
+    def test_extremes(self):
+        assert shade(0.0) == " "
+        assert shade(1.0) == "@"
+
+    def test_clamping(self):
+        assert shade(-5.0) == " "
+        assert shade(42.0) == "@"
+
+    def test_monotone(self):
+        ramp = [shade(i / 10) for i in range(11)]
+        assert ramp == sorted(ramp, key=" .:-=+*#%@".index)
+
+
+class TestHeatmaps:
+    def test_mesh_heatmap_dimensions(self):
+        topo = MeshTopology(4, 4)
+        out = mesh_heatmap(topo, [0.1] * 16, title="t")
+        lines = out.splitlines()
+        assert lines[0] == "t"
+        assert len(lines) == 1 + 2 * 4  # title + (shade+number) per row
+
+    def test_mesh_heatmap_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            mesh_heatmap(MeshTopology(4, 4), [0.0] * 15)
+
+    def test_gated_fraction_map_nopg_all_zero(self):
+        net = Network(NoCConfig(width=4, height=4), NoPG())
+        for _ in range(20):
+            net.step()
+        out = gated_fraction_map(net)
+        assert "0.00" in out
+
+    def test_gated_fraction_map_pg(self):
+        net = Network(NoCConfig(width=4, height=4), ConvOptPG())
+        for _ in range(60):
+            net.step()
+        out = gated_fraction_map(net)
+        assert "0.00" not in out.splitlines()[1]  # routers did gate off
+
+    def test_wake_events_map(self):
+        net = Network(NoCConfig(width=4, height=4), ConvOptPG())
+        for _ in range(30):
+            net.step()
+        net.inject(control_packet(0, 15, VirtualNetwork.REQUEST, net.cycle))
+        net.run_until_drained(2000)
+        out = wake_events_map(net)
+        assert any(ch.isdigit() and ch != "0" for ch in out)
+
+
+class TestHistogramAndBars:
+    def test_histogram_counts_sum(self):
+        out = latency_histogram([10, 12, 30, 31, 31, 50], bins=4)
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in out.splitlines())
+        assert total == 6
+
+    def test_histogram_empty(self):
+        assert latency_histogram([]) == "(no samples)"
+
+    def test_bars_include_all_schemes(self):
+        out = scheme_comparison_bars({"A": 1.0, "B": 2.0}, title="x")
+        assert "A" in out and "B" in out and out.startswith("x")
+
+
+class TestPacketTracer:
+    def test_traces_lifecycle(self):
+        net = Network(NoCConfig(width=4, height=4))
+        tracer = PacketTracer(net)
+        p = control_packet(0, 3, VirtualNetwork.REQUEST, 0)
+        net.inject(p)
+        net.run_until_drained(500)
+        kinds = [e.kind for e in tracer.for_packet(p.packet_id)]
+        assert kinds[0] == "created"
+        assert kinds[-1] == "delivered"
+        assert kinds.count("sw-grant") == 4  # routers 0,1,2,3
+
+    def test_traces_blocking(self):
+        scheme = ConvOptPG(wakeup_latency=8)
+        net = Network(NoCConfig(width=4, height=4), scheme)
+        tracer = PacketTracer(net)
+        for _ in range(25):
+            net.step()
+        p = control_packet(0, 3, VirtualNetwork.REQUEST, net.cycle)
+        net.inject(p)
+        net.run_until_drained(2000)
+        assert tracer.blocked_routers_seen()
+        assert any(e.kind == "blocked" for e in tracer.events)
+
+    def test_filter(self):
+        net = Network(NoCConfig(width=4, height=4))
+        a = control_packet(0, 3, VirtualNetwork.REQUEST, 0)
+        tracer = PacketTracer(net, match=lambda p: p.packet_id == a.packet_id)
+        b = control_packet(4, 7, VirtualNetwork.REQUEST, 0)
+        net.inject(a)
+        net.inject(b)
+        net.run_until_drained(500)
+        assert tracer.for_packet(a.packet_id)
+        assert not tracer.for_packet(b.packet_id)
+
+    def test_render(self):
+        net = Network(NoCConfig(width=4, height=4))
+        tracer = PacketTracer(net)
+        p = control_packet(0, 1, VirtualNetwork.REQUEST, 0)
+        net.inject(p)
+        net.run_until_drained(500)
+        text = tracer.render(p.packet_id)
+        assert "created" in text and "delivered" in text
+
+
+class TestLinkLoadMap:
+    def test_counts_forwarded_flits(self):
+        from repro.viz import link_load_map
+
+        net = Network(NoCConfig(width=4, height=4))
+        net.inject(control_packet(0, 3, VirtualNetwork.REQUEST, 0))
+        net.run_until_drained(500)
+        out = link_load_map(net)
+        assert "Router forwarding load" in out
+        # Row 0 routers carried the packet; row 3 carried nothing.
+        lines = out.splitlines()
+        assert "0.00" in lines[-1]
