@@ -12,13 +12,26 @@ One front door for every harness in the repository::
 
 ``repro.cli all`` regenerates the complete evaluation in one go (this
 is the long way to reproduce EXPERIMENTS.md).
+
+Robustness flags (before the command; see ``docs/fault_model.md``)::
+
+    python -m repro.cli --strict-invariants headline
+    python -m repro.cli --faults "punch_drop,rate=0.5;seed=7" fig12
+    python -m repro.cli --strict-invariants --watchdog 50000 baselines
+
+``--faults`` injects a deterministic fault schedule into every network
+the experiment builds; ``--strict-invariants`` runs the per-cycle
+invariant checker and deadlock watchdog (bound adjustable with
+``--watchdog``), aborting on the first violation.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
+
+from .noc.faults import clear_ambient, set_ambient
 
 from .experiments import (
     ablations,
@@ -76,24 +89,79 @@ def _run_all(argv: Sequence[str]) -> None:
         main([])
 
 
+def _split_robustness_flags(
+    argv: List[str],
+) -> Tuple[List[str], Optional[str], bool, Optional[int]]:
+    """Extract the global ``--faults``/``--strict-invariants``/``--watchdog``
+    flags (valid anywhere before the command) from ``argv``."""
+    rest: List[str] = []
+    fault_spec: Optional[str] = None
+    strict = False
+    watchdog: Optional[int] = None
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if rest:  # past the command: everything belongs to the subcommand
+            rest.append(arg)
+        elif arg == "--strict-invariants":
+            strict = True
+        elif arg == "--faults" or arg == "--watchdog":
+            if i + 1 >= len(argv):
+                raise SystemExit(f"{arg} requires a value")
+            value = argv[i + 1]
+            i += 1
+            if arg == "--faults":
+                fault_spec = value
+            else:
+                try:
+                    watchdog = int(value)
+                except ValueError:
+                    raise SystemExit(f"--watchdog expects an integer, got {value!r}")
+        elif arg.startswith("--faults="):
+            fault_spec = arg.split("=", 1)[1]
+        elif arg.startswith("--watchdog="):
+            try:
+                watchdog = int(arg.split("=", 1)[1])
+            except ValueError:
+                raise SystemExit(f"bad --watchdog value in {arg!r}")
+        else:
+            rest.append(arg)
+        i += 1
+    return rest, fault_spec, strict, watchdog
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """Dispatch a CLI command (see module docstring for the list)."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    argv, fault_spec, strict, watchdog = _split_robustness_flags(argv)
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         print("commands:", ", ".join(sorted(_COMMANDS)), ", all")
         return
     command, rest = argv[0], argv[1:]
-    if command == "all":
-        _run_all(rest)
-        return
+    robustness = fault_spec is not None or strict
+    if robustness:
+        set_ambient(fault_spec, strict, watchdog)
+        notice = []
+        if fault_spec is not None:
+            notice.append(f"fault schedule {fault_spec!r}")
+        if strict:
+            notice.append("strict invariant checking")
+        print(f"[robustness] {', '.join(notice)} enabled for all networks")
     try:
-        runner = _COMMANDS[command]
-    except KeyError:
-        raise SystemExit(
-            f"unknown command {command!r}; available: {sorted(_COMMANDS)} + ['all']"
-        )
-    runner(rest)
+        if command == "all":
+            _run_all(rest)
+            return
+        try:
+            runner = _COMMANDS[command]
+        except KeyError:
+            raise SystemExit(
+                f"unknown command {command!r}; available: {sorted(_COMMANDS)} + ['all']"
+            )
+        runner(rest)
+    finally:
+        if robustness:
+            clear_ambient()
 
 
 if __name__ == "__main__":

@@ -38,12 +38,19 @@ class PunchFabric:
         self.on_punch = on_punch
         #: Targets to be processed by each router at the *next* delivery.
         self._pending: Dict[int, Set[int]] = {}
+        #: Punches a fault delayed, keyed by their new delivery cycle.
+        self._delayed: Dict[int, List[Tuple[int, Set[int]]]] = {}
+        #: Optional :class:`repro.noc.faults.FaultInjector` consulted at
+        #: every per-router punch-processing step.
+        self.faults = None
         # --- statistics ---------------------------------------------------
         #: Link-cycles on which a (merged) punch signal was transmitted;
         #: feeds the punch-propagation energy overhead of Fig. 11.
         self.link_transmissions = 0
         #: Total targets delivered to their final router.
         self.targets_delivered = 0
+        #: Punch-processing steps lost or deferred to faults.
+        self.faulted_punches = 0
 
     # ------------------------------------------------------------------
     def send_local(self, router: int, targets: Iterable[int], cycle: int) -> None:
@@ -58,6 +65,13 @@ class PunchFabric:
 
     def deliver(self, cycle: int) -> None:
         """Deliver last cycle's relayed punches to their next routers."""
+        delayed = self._delayed.pop(cycle, None)
+        if delayed:
+            for router, targets in delayed:
+                # Fault-exempt: a punch suffers at most one fault per hop,
+                # otherwise a delay/dup rule at rate 1.0 would defer (or
+                # duplicate) the same punch forever.
+                self._process(router, targets, cycle, faultable=False)
         if not self._pending:
             return
         pending, self._pending = self._pending, {}
@@ -68,9 +82,34 @@ class PunchFabric:
         """Routers with punch targets awaiting next-cycle delivery."""
         return list(self._pending)
 
+    def pending_work(self) -> int:
+        """Punch deliveries still queued (pending relays + delayed)."""
+        return len(self._pending) + sum(len(v) for v in self._delayed.values())
+
     # ------------------------------------------------------------------
-    def _process(self, router: int, targets: Iterable[int], cycle: int) -> None:
+    def _process(
+        self, router: int, targets: Iterable[int], cycle: int, faultable: bool = True
+    ) -> None:
         """Wake ``router`` and relay every non-final target onward."""
+        if self.faults is not None and faultable:
+            action, delay = self.faults.punch_disposition(router, cycle)
+            if action == "drop":
+                # The punch vanishes at this hop: it neither wakes this
+                # router nor relays onward.
+                self.faulted_punches += 1
+                return
+            if action == "delay":
+                self.faulted_punches += 1
+                self._delayed.setdefault(cycle + delay, []).append(
+                    (router, set(targets))
+                )
+                return
+            if action == "dup":
+                # Processed normally now, and again next cycle.
+                self.faulted_punches += 1
+                self._delayed.setdefault(cycle + 1, []).append(
+                    (router, set(targets))
+                )
         touched = False
         outgoing: Dict[int, Set[int]] = {}
         for target in targets:

@@ -65,6 +65,14 @@ class PowerGatedScheme(PowerPolicy):
         self.controllers: List[PowerGateController] = []
         self.fabric: Optional[PunchFabric] = None
         self._slack2_hold: Dict[int, int] = {}
+        #: Baseline blocking-wakeup fallback: when a flit is stalled by a
+        #: gated neighbor, assert the one-hop WU handshake directly at
+        #: that neighbor's controller.  Off by default (the punch fabric
+        #: regenerates wakeups every cycle, making the handshake
+        #: redundant and timing-perturbing); armed automatically when a
+        #: fault injector is installed, so lost/late punch signals
+        #: degrade to the paper's blocking behavior instead of hanging.
+        self.blocking_fallback = False
 
     # ------------------------------------------------------------------
     def attach(self, network: Network) -> None:
@@ -105,6 +113,27 @@ class PowerGatedScheme(PowerPolicy):
 
     def _on_punch(self, router: int, cycle: int) -> None:
         self.controllers[router].request_wakeup(cycle, self.expectation_window)
+
+    def on_faults_installed(self, injector) -> None:
+        """Wire the injector into the punch fabric and every controller,
+        and arm the blocking-wakeup fallback (graceful degradation)."""
+        if self.fabric is not None:
+            self.fabric.faults = injector
+        for controller in self.controllers:
+            controller.faults = injector
+        self.blocking_fallback = True
+
+    def note_blocked(self, router_id: int, next_router: int, packet, cycle: int) -> None:
+        """A flit is stalled behind a gated-off/waking neighbor.
+
+        With the fallback armed this asserts the conventional one-hop WU
+        handshake at the blocking neighbor — retried every stalled cycle
+        by construction, so even a fully dropped punch stream converges
+        to the baseline blocking-wakeup path (bounded by the deadlock
+        watchdog rather than a silent hang).
+        """
+        if self.blocking_fallback:
+            self.controllers[next_router].request_wakeup(cycle, 0)
 
     # ------------------------------------------------------------------
     # Availability / state queries

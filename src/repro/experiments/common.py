@@ -6,13 +6,13 @@ import json
 import os
 import statistics
 from dataclasses import asdict, dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from ..core import ConvOptPG, NoPG, PowerPunchPG, PowerPunchSignal
 from ..noc import Network, NoCConfig
 from ..power import EnergyModel
 from ..system import Chip, get_profile
-from ..traffic import SyntheticTraffic, measure
+from ..traffic import SyntheticTraffic
 
 #: The four evaluated schemes, in the paper's order (Sec. 5).
 SCHEMES = {

@@ -1,6 +1,26 @@
 """NoC simulator substrate: mesh topology, XY routing, VC wormhole routers."""
 
 from .config import NoCConfig
+from .errors import (
+    BufferOverflowError,
+    DeadlockError,
+    DrainTimeoutError,
+    FaultSpecError,
+    InvariantViolation,
+    NIQueueOverflowError,
+    SimulationError,
+    TopologyError,
+)
+from .faults import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultInjector,
+    FaultSchedule,
+    FaultSpec,
+    clear_ambient,
+    set_ambient,
+)
+from .invariants import InvariantChecker, PostMortem
 from .network import Network
 from .network_interface import NetworkInterface
 from .packet import (
@@ -22,22 +42,39 @@ from .topology import ALL_DIRECTIONS, MESH_DIRECTIONS, Direction, MeshTopology
 __all__ = [
     "ALL_DIRECTIONS",
     "AlwaysOnPolicy",
+    "BufferOverflowError",
     "CONTROL_PACKET_FLITS",
     "DATA_PACKET_FLITS",
+    "DeadlockError",
     "Direction",
+    "DrainTimeoutError",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultSchedule",
+    "FaultSpec",
+    "FaultSpecError",
     "Flit",
+    "InvariantChecker",
+    "InvariantViolation",
     "MESH_DIRECTIONS",
     "MeshTopology",
+    "NIQueueOverflowError",
     "Network",
     "NetworkInterface",
     "NetworkStats",
     "NoCConfig",
     "NUM_VNETS",
     "Packet",
+    "PostMortem",
     "PowerPolicy",
     "Router",
+    "SimulationError",
+    "TopologyError",
     "VirtualNetwork",
     "XYRouting",
+    "clear_ambient",
     "control_packet",
     "data_packet",
+    "set_ambient",
 ]

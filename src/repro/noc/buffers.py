@@ -14,6 +14,7 @@ import enum
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
+from .errors import BufferOverflowError
 from .packet import Flit
 from .topology import Direction
 
@@ -81,8 +82,11 @@ class VirtualChannel:
     def push(self, flit: Flit, cycle: int) -> None:
         """Buffer an arriving flit; raises on overflow."""
         if len(self.flits) >= self.depth:
-            raise RuntimeError(
-                f"VC{self.vc_index} overflow: {len(self.flits)}/{self.depth}"
+            raise BufferOverflowError(
+                f"VC overflow: {len(self.flits)}/{self.depth} flits buffered, "
+                "credit flow control violated",
+                cycle=cycle, port=self.port_direction, vc=self.vc_index,
+                packet=flit.packet.packet_id,
             )
         self.flits.append(flit)
         self.arrivals.append(cycle)

@@ -10,7 +10,7 @@ network interface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from .packet import NUM_VNETS, VirtualNetwork

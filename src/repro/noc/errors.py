@@ -1,0 +1,120 @@
+"""Typed simulation error hierarchy.
+
+Every fatal condition inside the simulator raises a
+:class:`SimulationError` subclass carrying structured context — the
+cycle, router id, port direction and VC index where the failure was
+detected — so a crash deep inside a million-cycle run pinpoints its
+own location instead of surfacing as a bare ``assert`` or a
+context-free ``RuntimeError``.
+
+The hierarchy deliberately subclasses :class:`RuntimeError` so legacy
+callers (and tests) written against ``except RuntimeError`` keep
+working.
+
+* :class:`SimulationError` — base, structured context.
+* :class:`TopologyError` — a router/link lookup hit a hole in the mesh
+  (an internal wiring bug, never a workload property).
+* :class:`BufferOverflowError` — a flit was pushed into a full VC,
+  i.e. credit flow control was violated.
+* :class:`NIQueueOverflowError` — a bounded NI injection queue
+  overflowed.
+* :class:`DrainTimeoutError` — ``run_until_drained`` gave up; carries
+  the in-flight census at the deadline.
+* :class:`InvariantViolation` — an opt-in runtime invariant failed
+  (see :mod:`repro.noc.invariants`).
+* :class:`DeadlockError` — the deadlock/livelock watchdog tripped;
+  carries a structured :class:`~repro.noc.invariants.PostMortem`.
+* :class:`FaultSpecError` — a fault-schedule specification could not
+  be parsed (a :class:`ValueError`, since it is a config problem).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SimulationError(RuntimeError):
+    """Fatal simulator condition with structured location context."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: Optional[int] = None,
+        router: Optional[int] = None,
+        port: Optional[object] = None,
+        vc: Optional[int] = None,
+        packet: Optional[int] = None,
+    ) -> None:
+        self.cycle = cycle
+        self.router = router
+        self.port = port
+        self.vc = vc
+        self.packet = packet
+        super().__init__(self._decorate(message))
+
+    def _decorate(self, message: str) -> str:
+        parts = []
+        if self.cycle is not None:
+            parts.append(f"cycle={self.cycle}")
+        if self.router is not None:
+            parts.append(f"router={self.router}")
+        if self.port is not None:
+            name = getattr(self.port, "name", None)
+            parts.append(f"port={name if name is not None else self.port}")
+        if self.vc is not None:
+            parts.append(f"vc={self.vc}")
+        if self.packet is not None:
+            parts.append(f"packet={self.packet}")
+        if not parts:
+            return message
+        return f"{message} [{' '.join(parts)}]"
+
+
+class TopologyError(SimulationError):
+    """A link or neighbor lookup fell off the mesh (internal bug)."""
+
+
+class BufferOverflowError(SimulationError):
+    """A flit arrived at a full VC buffer (credit protocol violated)."""
+
+
+class NIQueueOverflowError(SimulationError):
+    """A bounded NI injection queue overflowed."""
+
+
+class DrainTimeoutError(SimulationError):
+    """The network failed to drain within its cycle budget."""
+
+
+class InvariantViolation(SimulationError):
+    """A runtime invariant check failed.
+
+    ``invariant`` names which check tripped (e.g. ``flit-conservation``).
+    """
+
+    def __init__(self, invariant: str, message: str, **context) -> None:
+        self.invariant = invariant
+        super().__init__(f"invariant {invariant!r} violated: {message}", **context)
+
+
+class DeadlockError(InvariantViolation):
+    """The deadlock/livelock watchdog flagged a stuck packet.
+
+    ``post_mortem`` is a :class:`repro.noc.invariants.PostMortem` with
+    the blocked packets, per-router state and recent event history.
+    """
+
+    def __init__(self, message: str, post_mortem=None, **context) -> None:
+        self.post_mortem = post_mortem
+        super().__init__("deadlock-watchdog", message, **context)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.post_mortem is None:
+            return base
+        return f"{base}\n{self.post_mortem.render()}"
+
+
+class FaultSpecError(ValueError):
+    """A fault-schedule specification string could not be parsed."""

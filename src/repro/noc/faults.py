@@ -1,0 +1,351 @@
+"""Deterministic fault injection for the NoC simulator.
+
+Power Punch's correctness story rests on punch signals arriving *just
+in time*; this module stresses that story.  A :class:`FaultInjector`
+is driven by a declarative :class:`FaultSchedule` and hooked into the
+simulator through a handful of narrow injection points (the network
+kernel's credit/flit delivery, the punch fabric's per-hop relay, the
+PG controller's wakeup input and the kernel's allocation loop).  All
+randomness comes from one seeded ``random.Random``, so a given
+(schedule, workload) pair replays the exact same fault sequence.
+
+Fault taxonomy (see ``docs/fault_model.md``):
+
+== ================= ==================================================
+#  kind              effect
+== ================= ==================================================
+1  ``punch_drop``    a punch signal reaching a router is lost there
+                     (neither wakes it nor relays onward)
+2  ``punch_dup``     the punch is processed again one cycle later
+3  ``punch_delay``   the punch is processed ``delay`` cycles late
+4  ``wakeup_fail``   a ``request_wakeup`` is ignored by the controller
+5  ``wakeup_delay``  the wakeup is acknowledged ``delay`` cycles late
+6  ``router_stall``  a router performs no VA/SA while the fault window
+                     is open (transient allocator freeze)
+7  ``credit_drop``   a returning credit is lost in flight
+8  ``flit_corrupt``  a flit payload is bit-flipped in flight (marked
+                     ``corrupted``; contents are otherwise preserved so
+                     the run stays deterministic)
+== ================= ==================================================
+
+Faults 1–6 are *liveness* faults — with the blocking-wakeup fallback
+enabled the network still delivers every packet, only slower.  Faults
+7–8 are *safety* faults that exist to be caught: the invariant checker
+(:mod:`repro.noc.invariants`) detects the credit leak / corruption.
+
+Schedules are built programmatically or parsed from a compact spec
+string (the CLI's ``--faults`` argument)::
+
+    punch_drop,rate=0.5,start=100;router_stall,router=5,start=200,end=400;seed=7
+
+Clauses are ``;``-separated; each is a fault kind followed by
+``key=value`` fields; a bare ``seed=N`` clause seeds the injector.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from .errors import FaultSpecError
+
+#: All recognized fault kinds.
+FAULT_KINDS = (
+    "punch_drop",
+    "punch_dup",
+    "punch_delay",
+    "wakeup_fail",
+    "wakeup_delay",
+    "router_stall",
+    "credit_drop",
+    "flit_corrupt",
+)
+
+#: Keys accepted in a fault-spec clause.
+_SPEC_KEYS = ("rate", "router", "start", "end", "delay", "count")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault rule.
+
+    ``rate`` is the per-opportunity firing probability (``router_stall``
+    ignores it: a stall is a deterministic window).  ``router`` narrows
+    the rule to one router (``None`` = any).  The rule is armed for
+    cycles ``start <= cycle <= end`` and fires at most ``count`` times.
+    """
+
+    kind: str
+    rate: float = 1.0
+    router: Optional[int] = None
+    start: int = 0
+    end: Optional[int] = None
+    delay: int = 1
+    count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise FaultSpecError(f"fault rate must be in [0, 1], got {self.rate}")
+        if self.delay < 1:
+            raise FaultSpecError("fault delay must be at least 1 cycle")
+        if self.end is not None and self.end < self.start:
+            raise FaultSpecError(
+                f"fault window ends ({self.end}) before it starts ({self.start})"
+            )
+
+    def active_at(self, cycle: int) -> bool:
+        """Whether the rule's cycle window covers ``cycle``."""
+        return cycle >= self.start and (self.end is None or cycle <= self.end)
+
+    def matches(self, router: int) -> bool:
+        """Whether the rule applies to ``router``."""
+        return self.router is None or self.router == router
+
+
+@dataclass
+class FaultSchedule:
+    """A seeded collection of :class:`FaultSpec` rules."""
+
+    specs: List[FaultSpec] = field(default_factory=list)
+    seed: int = 0
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSchedule":
+        """Parse the compact ``--faults`` spec grammar (module docstring)."""
+        specs: List[FaultSpec] = []
+        seed = 0
+        for clause in text.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            fields = [f.strip() for f in clause.split(",") if f.strip()]
+            head = fields[0]
+            if head.startswith("seed="):
+                try:
+                    seed = int(head.split("=", 1)[1])
+                except ValueError as exc:
+                    raise FaultSpecError(f"bad seed clause {head!r}") from exc
+                if len(fields) > 1:
+                    raise FaultSpecError("seed clause takes no extra fields")
+                continue
+            kwargs: Dict[str, object] = {}
+            for item in fields[1:]:
+                if "=" not in item:
+                    raise FaultSpecError(
+                        f"expected key=value in fault clause, got {item!r}"
+                    )
+                key, value = item.split("=", 1)
+                key = key.strip()
+                if key not in _SPEC_KEYS:
+                    raise FaultSpecError(
+                        f"unknown fault field {key!r}; expected one of {_SPEC_KEYS}"
+                    )
+                try:
+                    kwargs[key] = float(value) if key == "rate" else int(value)
+                except ValueError as exc:
+                    raise FaultSpecError(f"bad value for {key!r}: {value!r}") from exc
+            specs.append(FaultSpec(kind=head, **kwargs))  # type: ignore[arg-type]
+        return cls(specs=specs, seed=seed)
+
+    def with_seed(self, seed: int) -> "FaultSchedule":
+        """A copy of this schedule under a different seed."""
+        return replace(self, seed=seed)
+
+    def kinds(self) -> List[str]:
+        """Distinct fault kinds present in the schedule."""
+        seen: Dict[str, None] = {}
+        for spec in self.specs:
+            seen[spec.kind] = None
+        return list(seen)
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One fault that actually fired."""
+
+    cycle: int
+    kind: str
+    router: int
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"[{self.cycle:6d}] fault {self.kind:12s} R{self.router}"
+        return f"{text} {self.detail}".rstrip()
+
+
+class FaultInjector:
+    """Executes a :class:`FaultSchedule` against one network.
+
+    The injector is passive: simulator components ask it whether a
+    fault fires at each injection point.  Install it with
+    :meth:`repro.noc.network.Network.install_faults`, which also wires
+    the punch fabric and PG controllers of power-gated schemes.
+    """
+
+    #: Cap on the retained fault-event log (the full log of a heavily
+    #: faulted million-cycle run would dominate memory).
+    MAX_EVENTS = 10_000
+
+    def __init__(self, schedule: FaultSchedule) -> None:
+        self.schedule = schedule
+        self.rng = random.Random(schedule.seed)
+        #: Firing count per spec index (enforces ``count`` budgets).
+        self._fired: List[int] = [0] * len(schedule.specs)
+        self.events: List[FaultEvent] = []
+        self.dropped_events = 0
+        #: Optional shared ring buffer (see :class:`repro.noc.tracing.EventRing`);
+        #: wired up when an invariant checker is installed alongside.
+        self.ring = None
+        #: Totals per fault kind, for reports and tests.
+        self.counts: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+
+    # ------------------------------------------------------------------
+    # Injection points
+    # ------------------------------------------------------------------
+    def punch_disposition(self, router: int, cycle: int) -> Tuple[str, int]:
+        """Fate of a punch being processed at ``router``: ``(action, delay)``.
+
+        ``action`` is ``"ok"``, ``"drop"``, ``"delay"`` or ``"dup"``.
+        """
+        for kind in ("punch_drop", "punch_delay", "punch_dup"):
+            spec = self._roll(kind, router, cycle)
+            if spec is not None:
+                action = kind.split("_", 1)[1]
+                self._record(cycle, kind, router)
+                return action, spec.delay
+        return "ok", 0
+
+    def wakeup_disposition(self, router: int, cycle: int) -> Tuple[str, int]:
+        """Fate of a ``request_wakeup`` at ``router``: ``(action, delay)``."""
+        for kind in ("wakeup_fail", "wakeup_delay"):
+            spec = self._roll(kind, router, cycle)
+            if spec is not None:
+                action = kind.split("_", 1)[1]
+                self._record(cycle, kind, router)
+                return action, spec.delay
+        return "ok", 0
+
+    def is_stalled(self, router: int, cycle: int) -> bool:
+        """Whether an open ``router_stall`` window freezes ``router``.
+
+        Deterministic (no RNG draw): a stall is a window, not a coin
+        flip, so it can model both transient glitches and the hard
+        failure the deadlock watchdog must catch.
+        """
+        for index, spec in enumerate(self.schedule.specs):
+            if spec.kind != "router_stall":
+                continue
+            if not (spec.matches(router) and spec.active_at(cycle)):
+                continue
+            if spec.count is not None and self._fired[index] >= spec.count:
+                continue
+            if cycle == spec.start:
+                # Count each window once, on entry.
+                self._record(cycle, "router_stall", router)
+            return True
+        return False
+
+    def drop_credit(self, router: int, direction, vc: int, cycle: int) -> bool:
+        """Whether the credit arriving at ``router`` is lost."""
+        spec = self._roll("credit_drop", router, cycle)
+        if spec is None:
+            return False
+        self._record(cycle, "credit_drop", router, f"{direction.name} vc{vc}")
+        return True
+
+    def maybe_corrupt(self, router: int, flit, cycle: int) -> bool:
+        """Whether the flit landing at ``router`` gets bit-flipped."""
+        spec = self._roll("flit_corrupt", router, cycle)
+        if spec is None:
+            return False
+        flit.corrupted = True
+        self._record(
+            cycle, "flit_corrupt", router, f"pkt#{flit.packet.packet_id}/{flit.index}"
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def total_fired(self) -> int:
+        """Total faults fired so far, across all kinds."""
+        return sum(self.counts.values())
+
+    def summary(self) -> str:
+        """One-line per-kind firing summary."""
+        fired = {k: v for k, v in self.counts.items() if v}
+        if not fired:
+            return "no faults fired"
+        return ", ".join(f"{k}={v}" for k, v in fired.items())
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _roll(self, kind: str, router: int, cycle: int) -> Optional[FaultSpec]:
+        """First armed spec of ``kind`` that fires at this opportunity."""
+        for index, spec in enumerate(self.schedule.specs):
+            if spec.kind != kind:
+                continue
+            if not (spec.matches(router) and spec.active_at(cycle)):
+                continue
+            if spec.count is not None and self._fired[index] >= spec.count:
+                continue
+            if spec.rate < 1.0 and self.rng.random() >= spec.rate:
+                continue
+            self._fired[index] += 1
+            return spec
+        return None
+
+    def _record(self, cycle: int, kind: str, router: int, detail: str = "") -> None:
+        self.counts[kind] += 1
+        if len(self.events) < self.MAX_EVENTS:
+            self.events.append(FaultEvent(cycle, kind, router, detail))
+        else:
+            self.dropped_events += 1
+        if self.ring is not None:
+            self.ring.record(cycle, f"fault:{kind}", router, detail)
+
+
+# ----------------------------------------------------------------------
+# Ambient (process-wide) robustness configuration
+# ----------------------------------------------------------------------
+#: The CLI's global ``--faults`` / ``--strict-invariants`` flags must
+#: reach networks constructed arbitrarily deep inside experiment
+#: harnesses without threading parameters through every call site, so
+#: they are staged here and consulted by ``Network.__init__``.
+_ambient_fault_spec: Optional[str] = None
+_ambient_strict_invariants: bool = False
+_ambient_watchdog: Optional[int] = None
+
+
+def set_ambient(
+    fault_spec: Optional[str] = None,
+    strict_invariants: bool = False,
+    watchdog: Optional[int] = None,
+) -> None:
+    """Configure robustness features for every subsequently built network.
+
+    ``fault_spec`` is validated eagerly so a bad ``--faults`` string
+    fails fast instead of mid-experiment.
+    """
+    global _ambient_fault_spec, _ambient_strict_invariants, _ambient_watchdog
+    if fault_spec is not None:
+        FaultSchedule.parse(fault_spec)
+    _ambient_fault_spec = fault_spec
+    _ambient_strict_invariants = strict_invariants
+    _ambient_watchdog = watchdog
+
+
+def clear_ambient() -> None:
+    """Reset the ambient robustness configuration."""
+    set_ambient(None, False, None)
+
+
+def ambient_config() -> Tuple[Optional[str], bool, Optional[int]]:
+    """The staged ``(fault_spec, strict_invariants, watchdog)`` triple."""
+    return _ambient_fault_spec, _ambient_strict_invariants, _ambient_watchdog

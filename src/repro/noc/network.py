@@ -22,9 +22,11 @@ Per-cycle ordering:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Callable, DefaultDict, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, DefaultDict, Dict, List, Optional, Tuple
 
 from .config import NoCConfig
+from .errors import DrainTimeoutError, TopologyError
+from .faults import FaultInjector, FaultSchedule, ambient_config
 from .network_interface import NetworkInterface
 from .packet import Flit, Packet
 from .policy import AlwaysOnPolicy, PowerPolicy
@@ -32,6 +34,9 @@ from .router import Router
 from .routing import XYRouting
 from .stats import NetworkStats
 from .topology import Direction, MeshTopology
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .invariants import InvariantChecker
 
 #: Cycles from a switch-allocation grant until the flit is buffered
 #: downstream: ST (1) + link (1) + BW in the arrival cycle.
@@ -83,7 +88,44 @@ class Network:
             defaultdict(list)
         )
         self._eject_events: DefaultDict[int, List[Tuple[int, Flit]]] = defaultdict(list)
+        #: Optional robustness layer (see install_faults / install_invariants).
+        self.faults: Optional[FaultInjector] = None
+        self.invariants: Optional["InvariantChecker"] = None
         self.policy.attach(self)
+        self._apply_ambient_robustness()
+
+    # ------------------------------------------------------------------
+    # Robustness layer
+    # ------------------------------------------------------------------
+    def _apply_ambient_robustness(self) -> None:
+        """Honor the process-wide ``--faults`` / ``--strict-invariants``
+        configuration staged via :func:`repro.noc.faults.set_ambient`."""
+        fault_spec, strict_invariants, watchdog = ambient_config()
+        if fault_spec is not None:
+            self.install_faults(FaultInjector(FaultSchedule.parse(fault_spec)))
+        if strict_invariants:
+            from .invariants import InvariantChecker
+
+            kwargs = {}
+            if watchdog is not None:
+                kwargs["max_network_age"] = watchdog
+            self.install_invariants(InvariantChecker(strict=True, **kwargs))
+
+    def install_faults(self, injector: FaultInjector) -> None:
+        """Attach a fault injector; the policy wires its own fault points
+        (punch fabric, PG controllers) and enables the blocking-wakeup
+        fallback so lost punches degrade latency instead of liveness."""
+        self.faults = injector
+        self.policy.on_faults_installed(injector)
+        if self.invariants is not None:
+            injector.ring = self.invariants.ring
+
+    def install_invariants(self, checker: "InvariantChecker") -> None:
+        """Attach a runtime invariant checker (see repro.noc.invariants)."""
+        self.invariants = checker
+        checker.attach(self)
+        if self.faults is not None:
+            self.faults.ring = checker.ring
 
     # ------------------------------------------------------------------
     # Producer-facing API
@@ -92,6 +134,8 @@ class Network:
         """Hand a freshly created message to its source NI this cycle."""
         self.interfaces[packet.source].enqueue(packet, self.cycle)
         self.stats.record_injection(packet)
+        if self.invariants is not None:
+            self.invariants.on_packet_created(packet, self.cycle)
 
     def add_delivery_listener(self, listener: Callable[[Packet, int], None]) -> None:
         """Register a callback fired for every delivered packet."""
@@ -147,9 +191,20 @@ class Network:
         deadline = self.cycle + max_cycles
         while not self.is_drained():
             if self.cycle >= deadline:
-                raise RuntimeError(
-                    f"network failed to drain within {max_cycles} cycles"
+                post_mortem = None
+                if self.invariants is not None:
+                    post_mortem = self.invariants.build_post_mortem(
+                        self.cycle, "drain timeout"
+                    )
+                error = DrainTimeoutError(
+                    f"network failed to drain within {max_cycles} cycles; "
+                    f"{self.in_flight_packets()} packet(s) still in flight",
+                    cycle=self.cycle,
                 )
+                error.post_mortem = post_mortem
+                if post_mortem is not None:
+                    error.args = (f"{error.args[0]}\n{post_mortem.render()}",)
+                raise error
             self.step()
 
     def step(self) -> None:
@@ -171,12 +226,21 @@ class Network:
             return available_by(router_id, arrival_cycle)
 
         busy = [router for router in self.routers if router._occupied]
+        if self.faults is not None:
+            # A stalled router buffers arrivals but performs no VA/SA.
+            busy = [
+                router
+                for router in busy
+                if not self.faults.is_stalled(router.router_id, cycle)
+            ]
         for router in busy:
             router.do_vc_allocation(cycle)
         for router in busy:
             self._run_switch_allocation(router, cycle, is_available)
         self.policy.end_cycle(cycle)
         self.stats.cycles = cycle + 1
+        if self.invariants is not None:
+            self.invariants.on_cycle_end(cycle)
         self.cycle = cycle + 1
 
     # ------------------------------------------------------------------
@@ -188,10 +252,16 @@ class Network:
             for router_id, direction, vc, flit in events:
                 router = self.routers[router_id]
                 router.incoming_in_flight -= 1
+                if self.faults is not None:
+                    self.faults.maybe_corrupt(router_id, flit, cycle)
+                if self.invariants is not None:
+                    self.invariants.on_flit_arrival(router_id, flit, cycle)
                 router.receive_flit(direction, vc, flit, cycle)
         ejections = self._eject_events.pop(cycle, None)
         if ejections:
             for node, flit in ejections:
+                if self.invariants is not None:
+                    self.invariants.on_flit_ejected(node, flit, cycle)
                 self.interfaces[node].eject_flit(flit, cycle)
                 if flit.is_tail:
                     packet = flit.packet
@@ -205,6 +275,10 @@ class Network:
         if not events:
             return
         for router_id, direction, vc in events:
+            if self.faults is not None and self.faults.drop_credit(
+                router_id, direction, vc, cycle
+            ):
+                continue
             if router_id < 0:
                 # Credit destined for an NI (local-port slot freed).
                 self.interfaces[-router_id - 1].credit_from_router(vc)
@@ -214,6 +288,8 @@ class Network:
     def _ni_send(self, node: int, vc: int, flit: Flit, cycle: int) -> None:
         router = self.routers[node]
         router.incoming_in_flight += 1
+        if self.invariants is not None:
+            self.invariants.on_flit_sent(node, flit, cycle)
         self._flit_events[cycle + _NI_TO_ARRIVAL].append(
             (node, Direction.LOCAL, vc, flit)
         )
@@ -235,7 +311,12 @@ class Network:
                 self._eject_events[cycle + 1].append((router.router_id, flit))
             else:
                 neighbor = router.connected[out_dir]
-                assert neighbor is not None
+                if neighbor is None:
+                    raise TopologyError(
+                        "flit departed toward a mesh edge with no neighbor",
+                        cycle=cycle, router=router.router_id, port=out_dir,
+                        vc=out_vc, packet=flit.packet.packet_id,
+                    )
                 self.stats.link_traversals += 1
                 self.routers[neighbor].incoming_in_flight += 1
                 self._flit_events[cycle + _SA_TO_ARRIVAL].append(
@@ -260,7 +341,11 @@ class Network:
             )
         else:
             upstream = router.connected[in_dir]
-            assert upstream is not None
+            if upstream is None:
+                raise TopologyError(
+                    "credit return toward a mesh edge with no neighbor",
+                    cycle=cycle, router=router.router_id, port=in_dir, vc=in_vc,
+                )
             self._credit_events[cycle + _SA_TO_CREDIT].append(
                 (upstream, in_dir.opposite, in_vc)
             )

@@ -22,6 +22,7 @@ from typing import Callable, Deque, Dict, List, Optional
 
 from .buffers import VCState
 from .config import NoCConfig
+from .errors import NIQueueOverflowError
 from .packet import NUM_VNETS, Flit, Packet, VirtualNetwork, make_flits
 from .policy import PowerPolicy
 from .router import Router
@@ -88,7 +89,11 @@ class NetworkInterface:
         if self.config.ni_queue_capacity and (
             len(self.queues[int(packet.vnet)]) >= self.config.ni_queue_capacity
         ):
-            raise RuntimeError(f"NI queue overflow at node {self.node}")
+            raise NIQueueOverflowError(
+                f"NI queue overflow: vnet {int(packet.vnet)} queue already "
+                f"holds {self.config.ni_queue_capacity} packets",
+                cycle=cycle, router=self.node, packet=packet.packet_id,
+            )
         packet.created_at = cycle
         self.queues[int(packet.vnet)].append(packet)
         self.policy.on_message_created(self.node, packet, cycle)

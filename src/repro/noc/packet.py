@@ -98,6 +98,10 @@ class Flit:
 
     packet: Packet
     index: int
+    #: Set by the fault injector's bit-flip fault; the invariant checker
+    #: flags corrupted flits the moment they land (payload contents are
+    #: otherwise preserved so faulted runs stay deterministic).
+    corrupted: bool = False
 
     @property
     def is_head(self) -> bool:

@@ -28,6 +28,13 @@ class PowerPolicy:
         """Called once when the network is built."""
         self.network = network
 
+    def on_faults_installed(self, injector) -> None:
+        """A :class:`repro.noc.faults.FaultInjector` was installed on the
+        attached network.  Power-gated schemes override this to wire the
+        injector into their punch fabric and PG controllers and to arm
+        the blocking-wakeup fallback; the always-on baseline has no
+        wakeup machinery to fault."""
+
     # ------------------------------------------------------------------
     # Queries from routers / NIs
     # ------------------------------------------------------------------

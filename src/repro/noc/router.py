@@ -24,6 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from .buffers import InputPort, OutputPort, VCState, VirtualChannel
 from .config import NoCConfig
+from .errors import SimulationError, TopologyError
 from .packet import Flit
 from .routing import XYRouting
 from .topology import ALL_DIRECTIONS, Direction
@@ -108,7 +109,13 @@ class Router:
     def _activate_front(self, vc: VirtualChannel, cycle: int) -> None:
         """Start VA for the head flit now at the front of ``vc``."""
         head = vc.front
-        assert head is not None and head.is_head
+        if head is None or not head.is_head:
+            raise SimulationError(
+                "VC activation without a head flit at the buffer front "
+                f"(found {head!r})",
+                cycle=cycle, router=self.router_id,
+                port=vc.port_direction, vc=vc.vc_index,
+            )
         vc.state = VCState.WAIT_VA
         vc.route = self.routing.output_direction(
             self.router_id, head.packet.destination
@@ -200,7 +207,12 @@ class Router:
         if vc.route == Direction.LOCAL:
             return True
         neighbor = self.connected[vc.route]
-        assert neighbor is not None
+        if neighbor is None:
+            raise TopologyError(
+                "route points off the mesh edge",
+                cycle=cycle, router=self.router_id,
+                port=vc.route, vc=vc.vc_index,
+            )
         if not is_available(neighbor):
             note_blocked(neighbor, vc.front)
             return False

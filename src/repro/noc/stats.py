@@ -10,7 +10,7 @@ feeding the energy model (Fig. 11).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 from .packet import Packet
 

@@ -5,16 +5,22 @@ creation, injection, per-router switch traversals, blocking stalls and
 delivery.  Useful for debugging power-gating interactions and for the
 ``punch_anatomy`` style of guided tour; kept out of the hot path unless
 explicitly enabled.
+
+:class:`EventRing` is the bounded flight-recorder variant: a fixed-size
+ring of the last N events, cheap enough to leave on for entire runs so
+the invariant checker's post-mortem dumps (see
+:mod:`repro.noc.invariants`) can show what happened just before a
+deadlock or invariant violation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional, Set
 
 from .network import Network
-from .packet import Flit, Packet
-from .topology import Direction
+from .packet import Packet
 
 
 @dataclass(frozen=True)
@@ -28,8 +34,50 @@ class TraceEvent:
 
     def __str__(self) -> str:
         spot = f"R{self.where}" if self.where >= 0 else "-"
-        text = f"[{self.cycle:6d}] pkt#{self.packet_id} {self.kind:10s} {spot}"
+        who = f"pkt#{self.packet_id}" if self.packet_id >= 0 else "-"
+        text = f"[{self.cycle:6d}] {who} {self.kind:10s} {spot}"
         return f"{text} {self.detail}".rstrip()
+
+
+class EventRing:
+    """Bounded ring buffer of recent simulation events.
+
+    Unlike :class:`PacketTracer` this never grows: the newest
+    ``capacity`` events displace the oldest.  Events are free-form
+    ``(cycle, kind, where, detail)`` tuples rendered like
+    :class:`TraceEvent` lines; producers include the invariant checker
+    (injections, deliveries, blocks) and the fault injector (every
+    fired fault).
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        if capacity < 1:
+            raise ValueError("EventRing capacity must be positive")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.recorded = 0
+
+    def record(
+        self, cycle: int, kind: str, where: int, detail: str = "", packet_id: int = -1
+    ) -> None:
+        """Append one event, displacing the oldest when full."""
+        self.recorded += 1
+        self._events.append(TraceEvent(cycle, packet_id, kind, where, detail))
+
+    def snapshot(self) -> List[TraceEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def render(self) -> str:
+        """Human-readable rendering of the retained events."""
+        dropped = self.recorded - len(self._events)
+        lines = [str(e) for e in self._events]
+        if dropped > 0:
+            lines.insert(0, f"... {dropped} earlier events displaced ...")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._events)
 
 
 class PacketTracer:

@@ -46,12 +46,15 @@ class PowerGateController:
         "wake_at",
         "expect_until",
         "wu_seen",
+        "faults",
         "active_cycles",
         "off_cycles",
         "waking_cycles",
         "wake_events",
         "sleep_events",
         "short_sleeps",
+        "cancelled_sleeps",
+        "faulted_wakeups",
         "last_sleep_cycle",
         "off_period_lengths_sum",
     )
@@ -75,6 +78,9 @@ class PowerGateController:
         self.expect_until = -1
         #: A WU/punch signal was seen this cycle (resets idle counting).
         self.wu_seen = False
+        #: Optional :class:`repro.noc.faults.FaultInjector` consulted on
+        #: every incoming wakeup request.
+        self.faults = None
         # --- statistics -------------------------------------------------
         self.active_cycles = 0
         self.off_cycles = 0
@@ -84,6 +90,11 @@ class PowerGateController:
         #: Sleeps whose off-period ended up shorter than they should be
         #: (diagnostic for break-even accounting).
         self.short_sleeps = 0
+        #: Sleep decisions revoked by a wakeup arriving in the decision
+        #: cycle itself (the supply was never actually cut).
+        self.cancelled_sleeps = 0
+        #: Wakeup requests lost or delayed by the fault injector.
+        self.faulted_wakeups = 0
         self.last_sleep_cycle: Optional[int] = None
         self.off_period_lengths_sum = 0
 
@@ -122,13 +133,39 @@ class PowerGateController:
         Wakes the router if it is gated off, resets idle counting, and
         (for Power Punch) extends the forewarning window during which
         the router refuses to sleep.
+
+        Edge case: a wakeup arriving in the very cycle the sleep
+        decision was made (``step`` ran earlier this cycle and chose to
+        gate, but the supply is only cut from the *next* cycle onward)
+        must not be charged the full wakeup latency — the sleep is
+        revoked and the router stays ACTIVE.  Without this, the wakeup
+        was effectively lost: the router paid a pointless
+        sleep-and-wake round trip and the off-period statistics were
+        corrupted by a negative-length off period.
         """
+        if self.faults is not None:
+            action, delay = self.faults.wakeup_disposition(self.router_id, cycle)
+            if action == "fail":
+                self.faulted_wakeups += 1
+                return
+            if action == "delay":
+                self.faulted_wakeups += 1
+                cycle += delay
         self.wu_seen = True
         if expectation_window > 0:
             expect = cycle + expectation_window
             if expect > self.expect_until:
                 self.expect_until = expect
         if self.state is PGState.OFF:
+            if self.last_sleep_cycle is not None and cycle < self.last_sleep_cycle:
+                # The sleep decided earlier this cycle has not taken
+                # effect yet: cancel it instead of waking from scratch.
+                self.state = PGState.ACTIVE
+                self.idle_cycles = 0
+                self.sleep_events -= 1
+                self.cancelled_sleeps += 1
+                self.last_sleep_cycle = None
+                return
             self.state = PGState.WAKING
             self.wake_at = cycle + self.wakeup_latency
             self.wake_events += 1

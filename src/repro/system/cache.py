@@ -9,7 +9,7 @@ this module only provides placement, lookup and LRU eviction.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+from typing import Generic, Iterator, List, Optional, Tuple, TypeVar
 
 L = TypeVar("L")
 

@@ -16,7 +16,7 @@ links; everything else is a single control flit.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..noc.packet import (

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Optional, Tuple
 
 from ..noc.network import Network
 from ..noc.packet import (

@@ -8,7 +8,7 @@ for completeness (tornado, bit-reverse, neighbor, hotspot).
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict
 
 from ..noc.topology import MeshTopology
 

@@ -9,7 +9,7 @@ composes with the experiment harnesses and tests.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Sequence
 
 from .core.schemes import PowerGatedScheme
 from .noc.network import Network

@@ -1,6 +1,5 @@
 """Tests for the ablation harness functions (fast configurations)."""
 
-import pytest
 
 from repro.experiments.ablations import (
     bet_sweep,

@@ -1,6 +1,5 @@
 """Tests for chip-level wiring: slack-2 notices, MC placement, dispatch."""
 
-import pytest
 
 from repro.core import PowerPunchPG
 from repro.noc import NoCConfig

@@ -3,6 +3,14 @@
 import pytest
 
 from repro import cli
+from repro.noc import (
+    FaultSpecError,
+    Network,
+    NoCConfig,
+    VirtualNetwork,
+    control_packet,
+)
+from repro.noc.faults import ambient_config
 
 
 class TestDispatch:
@@ -39,3 +47,109 @@ class TestDispatch:
         out = capsys.readouterr().out
         assert "R36" in out
         assert "22" in out
+
+
+class TestRobustnessFlags:
+    def test_flags_extracted_before_command(self):
+        rest, spec, strict, watchdog = cli._split_robustness_flags(
+            [
+                "--strict-invariants",
+                "--faults",
+                "punch_drop,rate=0.5",
+                "fig12",
+                "--patterns",
+                "uniform_random",
+            ]
+        )
+        assert rest == ["fig12", "--patterns", "uniform_random"]
+        assert spec == "punch_drop,rate=0.5"
+        assert strict is True
+        assert watchdog is None
+
+    def test_equals_forms(self):
+        rest, spec, strict, watchdog = cli._split_robustness_flags(
+            ["--faults=punch_dup", "--watchdog=1234", "headline"]
+        )
+        assert rest == ["headline"]
+        assert spec == "punch_dup"
+        assert watchdog == 1234
+
+    def test_flags_after_command_pass_through_to_subcommand(self):
+        rest, spec, strict, watchdog = cli._split_robustness_flags(
+            ["fig12", "--strict-invariants"]
+        )
+        assert rest == ["fig12", "--strict-invariants"]
+        assert strict is False
+
+    def test_missing_value_exits(self):
+        with pytest.raises(SystemExit):
+            cli._split_robustness_flags(["--faults"])
+        with pytest.raises(SystemExit):
+            cli._split_robustness_flags(["--watchdog"])
+
+    def test_bad_watchdog_exits(self):
+        with pytest.raises(SystemExit):
+            cli._split_robustness_flags(["--watchdog", "soon", "fig12"])
+
+    def test_bad_fault_spec_fails_fast(self):
+        """An unparseable --faults string dies before any experiment
+        starts, and leaves no ambient configuration behind."""
+        with pytest.raises(FaultSpecError):
+            cli.main(["--faults", "frobnicate,rate=0.5", "table1"])
+        assert ambient_config() == (None, False, None)
+
+
+class TestRobustnessGolden:
+    """End-to-end: the flags reach networks built inside a command, the
+    announcement banner prints, and the observed output is unchanged by
+    the (purely observational) checker."""
+
+    @staticmethod
+    def _zero_load_command(sink):
+        def command(argv):
+            net = Network(NoCConfig(), None)
+            sink.append(net)
+            packet = control_packet(0, 7, VirtualNetwork.REQUEST, 0)
+            net.inject(packet)
+            net.run_until_drained(2000)
+            print(f"latency={packet.network_latency}")
+
+        return command
+
+    def test_flags_wire_every_network_and_preserve_goldens(
+        self, capsys, monkeypatch
+    ):
+        nets = []
+        monkeypatch.setitem(cli._COMMANDS, "probe", self._zero_load_command(nets))
+
+        cli.main(["probe"])
+        baseline = capsys.readouterr().out
+        assert "latency=31" in baseline  # zero-load golden (3-stage 8x8)
+
+        cli.main(
+            [
+                "--strict-invariants",
+                "--faults",
+                "punch_delay,rate=0;seed=3",
+                "--watchdog",
+                "5000",
+                "probe",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "[robustness]" in out
+        assert "strict invariant checking" in out
+        # Golden output: identical latency line under the checker.
+        assert "latency=31" in out
+
+        plain, checked = nets
+        assert plain.faults is None and plain.invariants is None
+        assert checked.faults is not None
+        assert checked.invariants is not None
+        assert checked.invariants.strict
+        assert checked.invariants.max_network_age == 5000
+        assert checked.invariants.checks_run > 0
+
+        # The ambient configuration never leaks past main().
+        assert ambient_config() == (None, False, None)
+        assert Network(NoCConfig()).invariants is None

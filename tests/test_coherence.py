@@ -224,7 +224,6 @@ class TestRandomizedCoherence:
         rng = random.Random(seed)
         blocks = [(1 << 50) + i for i in range(6)]
         expected_writes = {b: 0 for b in blocks}
-        issued = set()
         for step in range(250):
             node = rng.randrange(16)
             block = rng.choice(blocks)

@@ -6,7 +6,6 @@ copies, write counts fully reflected in the final version, and no
 leaked transient state.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import NoPG

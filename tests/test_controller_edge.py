@@ -49,6 +49,53 @@ class TestControllerEdgeCases:
         with pytest.raises(ValueError):
             PowerGateController(0, wakeup_latency=0)
 
+    def test_wakeup_on_sleep_decision_cycle_cancels_sleep(self):
+        """Regression: a wakeup requested in the same cycle the sleep
+        decision is made (e.g. an end-of-cycle punch after the FSM step)
+        must revoke the sleep, not pay a full gate-off/wake round trip."""
+        ctl = PowerGateController(0, wakeup_latency=8, timeout=2)
+        for c in range(2):
+            ctl.step(c, True, False)
+        # step(1) decided to sleep: gated from cycle 2 onward.
+        assert ctl.is_off
+        assert ctl.sleep_events == 1
+        ctl.request_wakeup(1)  # same cycle as the decision
+        assert ctl.state is PGState.ACTIVE
+        assert ctl.wake_events == 0
+        assert ctl.sleep_events == 0
+        assert ctl.cancelled_sleeps == 1
+        assert ctl.last_sleep_cycle is None
+        # The wakeup signal keeps the router busy for one cycle, then
+        # the next idle stretch can still sleep normally.
+        for c in range(2, 5):
+            ctl.step(c, True, False)
+        assert ctl.is_off
+
+    def test_cancelled_sleep_keeps_off_period_stats_sane(self):
+        """Regression: before the fix the cancelled sleep was charged a
+        negative-length off period, corrupting mean_off_period."""
+        ctl = PowerGateController(0, wakeup_latency=8, timeout=2)
+        for c in range(2):
+            ctl.step(c, True, False)
+        ctl.request_wakeup(1)  # cancels (decision cycle)
+        for c in range(2, 5):
+            ctl.step(c, True, False)
+        assert ctl.is_off  # gated from cycle 5 onward
+        ctl.request_wakeup(13)  # genuine wake after 8 off cycles
+        assert ctl.off_period_lengths_sum == 13 - 5
+        assert ctl.mean_off_period() == pytest.approx(8.0)
+
+    def test_wakeup_after_sleep_takes_effect_pays_full_latency(self):
+        """One cycle later the supply is cut: no cancellation then."""
+        ctl = PowerGateController(0, wakeup_latency=8, timeout=2)
+        for c in range(2):
+            ctl.step(c, True, False)
+        ctl.step(2, True, False)
+        ctl.request_wakeup(2)  # sleep took effect at cycle 2
+        assert ctl.is_waking
+        assert ctl.wake_at == 10
+        assert ctl.cancelled_sleeps == 0
+
 
 class TestSchemeEdgeCases:
     def test_zero_traffic_long_run_stable(self):

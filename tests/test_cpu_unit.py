@@ -1,9 +1,7 @@
 """Unit tests for the in-order core model."""
 
-import pytest
 
 from repro.system.cpu import Core
-from repro.system.l1 import L1Controller
 from repro.system.memtrace import AccessStream, StreamProfile
 
 

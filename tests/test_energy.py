@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import ConvOptPG, NoPG
+from repro.core import ConvOptPG
 from repro.noc import Network, NoCConfig, VirtualNetwork, control_packet
 from repro.power import DEFAULT_CONSTANTS, EnergyModel, PowerConstants
 

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.experiments.common import (
-    SCHEMES,
     SCHEME_ORDER,
     RunRecord,
     format_table,

@@ -1,6 +1,5 @@
 """Tests for coherence message definitions and VN mapping."""
 
-import pytest
 
 from repro.noc import VirtualNetwork
 from repro.system import CoherenceMessage, MessageType

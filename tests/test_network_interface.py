@@ -1,6 +1,5 @@
 """Tests for the network interface."""
 
-import pytest
 
 from repro.core import ConvOptPG
 from repro.noc import (

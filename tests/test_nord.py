@@ -1,6 +1,5 @@
 """Tests for the NoRD-like bypass-ring baseline."""
 
-import pytest
 
 from repro.baselines import BypassRing, NoRDLike, snake_order
 from repro.core import PowerPunchPG
@@ -95,7 +94,7 @@ class TestNoRDScheme:
 
     def test_transit_never_punches(self):
         scheme = NoRDLike()
-        net = self.run_traffic(scheme, cycles=1500)
+        self.run_traffic(scheme, cycles=1500)
         # The punch fabric exists but NoRD generates no transit punches.
         assert scheme.fabric.link_transmissions == 0
 

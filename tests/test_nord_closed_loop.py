@@ -1,6 +1,5 @@
 """Closed-loop integration: the NoRD-like baseline under the CMP model."""
 
-import pytest
 
 from repro.baselines import NoRDLike
 from repro.core import NoPG

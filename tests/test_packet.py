@@ -1,9 +1,8 @@
 """Tests for messages, packets and flits."""
 
-import pytest
 
 from repro.noc import VirtualNetwork, control_packet, data_packet
-from repro.noc.packet import Packet, make_flits, reset_packet_ids
+from repro.noc.packet import make_flits, reset_packet_ids
 
 
 class TestPacketConstruction:

@@ -2,7 +2,6 @@
 
 import json
 
-import pytest
 
 from repro.experiments.parsec_suite import run_suite, suite_records
 

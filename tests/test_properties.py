@@ -1,6 +1,5 @@
 """Property-based tests (hypothesis) for core invariants."""
 
-import random
 
 from hypothesis import given, settings, strategies as st
 

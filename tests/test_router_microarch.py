@@ -1,6 +1,5 @@
 """Router microarchitecture tests: pipeline, arbitration, credits."""
 
-import pytest
 
 from repro.noc import (
     Direction,
@@ -10,7 +9,6 @@ from repro.noc import (
     control_packet,
     data_packet,
 )
-from repro.noc.buffers import VCState
 
 
 def make_net(stages=3, width=4):

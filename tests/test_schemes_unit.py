@@ -1,6 +1,5 @@
 """Unit tests for scheme wiring: punch generation, windows, hooks."""
 
-import pytest
 
 from repro.core import ConvOptPG, NoPG, PowerPunchPG, PowerPunchSignal
 from repro.noc import Network, NoCConfig, VirtualNetwork, control_packet
