@@ -1,0 +1,95 @@
+"""Microbenchmarks for the per-cycle simulation kernel.
+
+Complements ``python -m repro.bench`` (the ``BENCH_kernel.json`` trend
+runner): the runner sweeps the full scheme x rate x mesh matrix and
+reports cycles/sec, while these microbenchmarks isolate the individual
+hot paths under pytest-benchmark so per-path timings stay comparable
+run to run:
+
+* active-set vs naive kernel on the paper's low-load regime
+  (8x8, 0.02 flits/node/cycle — PAPER Sec. 5),
+* the controller-FSM parking layer alone (ConvOptPG: deadlines and
+  wakeups, no punch fabric),
+* the punch-fabric memoization layer alone (PowerPunchSignal:
+  punches on top of an always-on mesh).
+
+Every replay consumes a pre-recorded injection trace, so the timed
+region is pure kernel work — no RNG, no traffic-pattern math.  Run via
+``python -m pytest benchmarks/bench_kernel.py``; the tier-1 suite
+(``testpaths = ["tests"]``) does not collect this file.
+"""
+
+from repro.bench import bench_config, record_trace, replay
+from repro.noc import NoCConfig
+
+CYCLES = 2000
+RATE = 0.02
+SEED = 7
+
+_TRACES = {}
+
+
+def _trace(width, height):
+    """Record (once per session) the shared low-load trace for a mesh."""
+    key = (width, height)
+    if key not in _TRACES:
+        _TRACES[key] = record_trace(
+            NoCConfig(width=width, height=height), "uniform_random", RATE, SEED, CYCLES
+        )
+    return _TRACES[key]
+
+
+def _replay(kernel, scheme, width=8, height=8):
+    config = NoCConfig(width=width, height=height, kernel=kernel)
+    net, _elapsed = replay(config, scheme, _trace(width, height), CYCLES)
+    return net
+
+
+# -- headline cell: both kernels on the paper's low-load regime --------
+
+
+def test_kernel_active_8x8_low_load(once):
+    net = once(_replay, "active", "PowerPunchPG")
+    assert net.stats.delivered > 0
+
+
+def test_kernel_naive_8x8_low_load(once):
+    net = once(_replay, "naive", "PowerPunchPG")
+    assert net.stats.delivered > 0
+
+
+def test_kernel_active_16x16_low_load(once):
+    net = once(_replay, "active", "PowerPunchPG", width=16, height=16)
+    assert net.stats.delivered > 0
+
+
+# -- layer isolation ----------------------------------------------------
+
+
+def test_kernel_active_controller_parking(once):
+    """FSM parking only: ConvOptPG has controllers but no punch fabric."""
+    net = once(_replay, "active", "ConvOptPG")
+    assert net.policy.total_off_cycles() > 0
+
+
+def test_kernel_active_punch_memoization(once):
+    """Punch memoization only: PowerPunchSignal never gates routers."""
+    net = once(_replay, "active", "PowerPunchSignal")
+    assert net.stats.delivered > 0
+
+
+# -- exactness + regression guard --------------------------------------
+
+
+def test_kernel_cell_exact_and_not_slower(once):
+    """The headline cell stays cycle-exact and the active kernel does
+    not regress below the naive kernel.
+
+    ``bench_config`` raises on any stats-fingerprint divergence between
+    the kernels, so timing it doubles as the end-to-end exactness
+    check.  The speedup floor is deliberately loose (machine noise on
+    shared CI runners easily swings 10-20%); the committed
+    ``BENCH_kernel.json`` baseline tracks the real trend.
+    """
+    cell = once(bench_config, "PowerPunchPG", 8, 8, RATE, CYCLES, 1, SEED)
+    assert cell["speedup"] > 0.8, cell

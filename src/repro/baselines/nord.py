@@ -189,6 +189,10 @@ class NoRDLike(PowerGatedScheme):
                 routers[node].datapath_empty() and not held,
                 bool(ni.streams),
             )
+        # NoRD steps every controller every cycle (demand wakeups need
+        # each NI's backlog anyway), so the lazy OFF-accounting clock
+        # just tracks the real step point.
+        self._stepped_through = cycle
         self._divert_or_release(cycle)
         self.ring.step(cycle, self._try_exit)
 
@@ -253,7 +257,7 @@ class NoRDLike(PowerGatedScheme):
             # ready — NoRD's bypass-to-router transfer is about as fast).
             self._hold_path(node, packet.destination, cycle)
             packet.source = node  # continue XY routing from here
-            self.network.interfaces[node].queues[int(packet.vnet)].append(packet)
+            self.network.interfaces[node].reinject(packet)
             return True
         # Detour bound: after max_ring_hops on the ring, start waking
         # the next few XY-path routers so a mesh exit opens up soon.

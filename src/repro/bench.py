@@ -1,0 +1,351 @@
+"""Kernel performance baseline: ``python -m repro.bench``.
+
+Measures simulated cycles/sec of the active-set kernel against the
+naive full-scan kernel over a matrix of scheme x injection rate x mesh
+size, and emits the result as ``BENCH_kernel.json`` so CI can track the
+trend and flag regressions.
+
+Methodology
+-----------
+
+Open-loop synthetic traffic is state-independent: the generator never
+looks at the network beyond its topology.  Each benchmark therefore
+**pre-records an injection trace** (cycle, source, destination, vnet,
+size — plus slack-2 early notices) by driving :class:`SyntheticTraffic`
+against a lightweight recorder, then **replays** the identical trace
+into a fresh network per kernel.  The timed region contains only trace
+application and ``Network.step`` — no RNG, no pattern math — so the
+reported speedup isolates the kernel instead of diluting it with
+traffic-generation overhead.
+
+Because both kernels consume the same trace, the bench doubles as an
+end-to-end exactness check: after every config it asserts the two
+kernels produced identical stats dumps (and identical total cycle
+counts, so cycles/sec are computed over the same work).
+
+Output schema (``bench_kernel/v1``)::
+
+    {
+      "schema": "bench_kernel/v1",
+      "cycles": <recorded trace length>,
+      "repeat": <timing repetitions, best-of>,
+      "results": [
+        {"scheme": str, "width": int, "height": int,
+         "injection_rate": float, "total_cycles": int,
+         "active_cps": float, "naive_cps": float, "speedup": float},
+        ...
+      ]
+    }
+
+``--check BASELINE`` compares the current run against a committed
+baseline and exits non-zero only when a config's ``active_cps`` fell
+more than ``--tolerance`` (default 30%) below the baseline — a trend
+job, deliberately insensitive to ordinary machine-to-machine noise in
+the speedup ratio itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from time import perf_counter
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .baselines import NoRDLike
+from .core import ConvOptPG, NoPG, PowerPunchPG, PowerPunchSignal
+from .noc import Network, NoCConfig
+from .noc.packet import Packet, VirtualNetwork
+from .noc.topology import MeshTopology
+from .traffic import SyntheticTraffic
+
+SCHEMES: Dict[str, Callable] = {
+    "NoPG": NoPG,
+    "ConvOptPG": ConvOptPG,
+    "PowerPunchSignal": PowerPunchSignal,
+    "PowerPunchPG": PowerPunchPG,
+    "NoRDLike": NoRDLike,
+}
+
+#: One trace event: ("inject", source, dest, vnet, size) or ("notice", node).
+TraceEvent = Tuple
+#: A recorded trace: events per cycle over a fixed window.
+Trace = Dict[int, List[TraceEvent]]
+
+
+class _RecorderNI:
+    """Stand-in NI that records slack-2 early notices."""
+
+    def __init__(self, recorder: "_TraceRecorder", node: int) -> None:
+        self._recorder = recorder
+        self._node = node
+
+    def early_notice(self, cycle: int) -> None:
+        self._recorder.events.setdefault(cycle, []).append(("notice", self._node))
+
+
+class _TraceRecorder:
+    """Duck-typed :class:`Network` facade for :class:`SyntheticTraffic`.
+
+    The generator only uses ``topology``, ``interfaces[n].early_notice``
+    and ``inject``; recording those calls captures everything needed to
+    replay the workload verbatim.
+    """
+
+    def __init__(self, config: NoCConfig) -> None:
+        self.topology = MeshTopology(config.width, config.height)
+        self.cycle = 0
+        self.events: Trace = {}
+        self.interfaces = [
+            _RecorderNI(self, node) for node in range(config.num_nodes)
+        ]
+
+    def inject(self, packet: Packet) -> None:
+        self.events.setdefault(self.cycle, []).append(
+            (
+                "inject",
+                packet.source,
+                packet.destination,
+                int(packet.vnet),
+                packet.size_flits,
+            )
+        )
+
+
+def record_trace(
+    config: NoCConfig, pattern: str, rate: float, seed: int, cycles: int
+) -> Trace:
+    """Record ``cycles`` cycles of synthetic traffic for ``config``."""
+    recorder = _TraceRecorder(config)
+    traffic = SyntheticTraffic(recorder, pattern, rate, seed=seed)
+    for cycle in range(cycles):
+        recorder.cycle = cycle
+        traffic.step(cycle)
+    # Packets still deferred past the window are dropped: both kernels
+    # replay the identical truncated trace.
+    return recorder.events
+
+
+def replay(
+    config: NoCConfig,
+    scheme_name: str,
+    trace: Trace,
+    cycles: int,
+    drain_cycles: int = 500_000,
+) -> Tuple[Network, float]:
+    """Replay ``trace`` into a fresh network; return it and the wall
+    time of the timed region (trace application + every ``step``)."""
+    net = Network(config, SCHEMES[scheme_name]())
+    interfaces = net.interfaces
+    inject = net.inject
+    step = net.step
+    start = perf_counter()
+    for cycle in range(cycles):
+        for event in trace.get(cycle, ()):
+            if event[0] == "inject":
+                _kind, source, dest, vnet, size = event
+                inject(Packet(source, dest, VirtualNetwork(vnet), size, cycle))
+            else:
+                interfaces[event[1]].early_notice(cycle)
+        step()
+    net.run_until_drained(drain_cycles)
+    elapsed = perf_counter() - start
+    return net, elapsed
+
+
+def _stats_fingerprint(net: Network) -> Dict[str, int]:
+    dump = dict(net.stats.as_dict())
+    policy = net.policy
+    if hasattr(policy, "controllers") and policy.controllers:
+        dump["total_off_cycles"] = policy.total_off_cycles()
+        dump["total_wake_events"] = policy.total_wake_events()
+    return dump
+
+
+def bench_config(
+    scheme_name: str,
+    width: int,
+    height: int,
+    rate: float,
+    cycles: int,
+    repeat: int,
+    seed: int = 7,
+) -> Dict[str, object]:
+    """Benchmark one (scheme, mesh, rate) cell under both kernels."""
+    base = NoCConfig(width=width, height=height)
+    trace = record_trace(base, "uniform_random", rate, seed, cycles)
+    timings: Dict[str, float] = {}
+    fingerprints = {}
+    total_cycles = {}
+    for kernel in ("active", "naive"):
+        config = NoCConfig(width=width, height=height, kernel=kernel)
+        best = None
+        for _ in range(repeat):
+            net, elapsed = replay(config, scheme_name, trace, cycles)
+            best = elapsed if best is None else min(best, elapsed)
+        timings[kernel] = best
+        fingerprints[kernel] = _stats_fingerprint(net)
+        total_cycles[kernel] = net.cycle
+    if fingerprints["active"] != fingerprints["naive"]:
+        mismatched = {
+            key: (fingerprints["active"][key], fingerprints["naive"][key])
+            for key in fingerprints["active"]
+            if fingerprints["active"][key] != fingerprints["naive"][key]
+        }
+        raise AssertionError(
+            f"kernel mismatch for {scheme_name} {width}x{height}@{rate}: "
+            f"{mismatched}"
+        )
+    if total_cycles["active"] != total_cycles["naive"]:
+        raise AssertionError(
+            f"drain length diverged for {scheme_name} "
+            f"{width}x{height}@{rate}: {total_cycles}"
+        )
+    active_cps = total_cycles["active"] / timings["active"]
+    naive_cps = total_cycles["naive"] / timings["naive"]
+    return {
+        "scheme": scheme_name,
+        "width": width,
+        "height": height,
+        "injection_rate": rate,
+        "total_cycles": total_cycles["active"],
+        "active_cps": round(active_cps, 1),
+        "naive_cps": round(naive_cps, 1),
+        "speedup": round(active_cps / naive_cps, 3),
+    }
+
+
+def run_matrix(
+    schemes: List[str],
+    meshes: List[Tuple[int, int]],
+    rates: List[float],
+    cycles: int,
+    repeat: int,
+    verbose: bool = True,
+) -> Dict[str, object]:
+    """Run the full benchmark matrix; return the bench_kernel/v1 doc."""
+    results = []
+    for width, height in meshes:
+        for rate in rates:
+            for scheme_name in schemes:
+                cell = bench_config(scheme_name, width, height, rate, cycles, repeat)
+                results.append(cell)
+                if verbose:
+                    print(
+                        f"{scheme_name:>17} {width}x{height} rate={rate:<5} "
+                        f"active={cell['active_cps']:>9} c/s  "
+                        f"naive={cell['naive_cps']:>9} c/s  "
+                        f"speedup={cell['speedup']}x",
+                        file=sys.stderr,
+                    )
+    return {
+        "schema": "bench_kernel/v1",
+        "cycles": cycles,
+        "repeat": repeat,
+        "results": results,
+    }
+
+
+def check_against_baseline(
+    current: Dict[str, object], baseline: Dict[str, object], tolerance: float
+) -> List[str]:
+    """Regressions of ``active_cps`` beyond ``tolerance``, as messages.
+
+    Only configs present in both documents are compared, so shrinking
+    or extending the matrix never fails the trend job by itself.
+    """
+
+    def key(cell):
+        return (cell["scheme"], cell["width"], cell["height"], cell["injection_rate"])
+
+    baseline_cells = {key(cell): cell for cell in baseline.get("results", [])}
+    failures = []
+    for cell in current["results"]:
+        ref = baseline_cells.get(key(cell))
+        if ref is None:
+            continue
+        floor = ref["active_cps"] * (1.0 - tolerance)
+        if cell["active_cps"] < floor:
+            failures.append(
+                f"{cell['scheme']} {cell['width']}x{cell['height']}"
+                f"@{cell['injection_rate']}: active_cps {cell['active_cps']} "
+                f"< {floor:.1f} (baseline {ref['active_cps']} "
+                f"- {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench", description="kernel cycles/sec benchmark"
+    )
+    parser.add_argument("--out", default="BENCH_kernel.json", help="output JSON path")
+    parser.add_argument(
+        "--cycles", type=int, default=3000, help="traffic cycles per config"
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=3, help="timing repetitions (best-of)"
+    )
+    parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["NoPG", "ConvOptPG", "PowerPunchSignal", "PowerPunchPG"],
+        choices=sorted(SCHEMES),
+    )
+    parser.add_argument(
+        "--meshes",
+        nargs="+",
+        default=["8x8", "16x16"],
+        help="mesh sizes as WxH",
+    )
+    parser.add_argument(
+        "--rates", nargs="+", type=float, default=[0.02, 0.05],
+        help="injection rates (flits/node/cycle)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small matrix for CI trend runs (8x8, rate 0.02, 1 repetition)",
+    )
+    parser.add_argument(
+        "--check", default=None, help="baseline BENCH_kernel.json to compare against"
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional active_cps regression vs the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        args.meshes = ["8x8"]
+        args.rates = [0.02]
+        args.repeat = 1
+        args.cycles = min(args.cycles, 2000)
+    meshes = []
+    for spec in args.meshes:
+        width, _, height = spec.partition("x")
+        meshes.append((int(width), int(height)))
+
+    doc = run_matrix(args.schemes, meshes, args.rates, args.cycles, args.repeat)
+    with open(args.out, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(doc['results'])} configs)", file=sys.stderr)
+
+    if args.check is not None:
+        with open(args.check) as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(doc, baseline, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"no regression vs {args.check} (tolerance {args.tolerance:.0%})",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

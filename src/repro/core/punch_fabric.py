@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterable, List, Set, Tuple
 
+from ..noc.errors import SimulationError
 from ..noc.routing import XYRouting
 
 #: Signature of the controller-side punch sink: (router_id, cycle).
@@ -43,6 +44,15 @@ class PunchFabric:
         #: Optional :class:`repro.noc.faults.FaultInjector` consulted at
         #: every per-router punch-processing step.
         self.faults = None
+        #: Memoize the relay decomposition per (router, target set).
+        #: XY routing is static, and a head flit stalled (or streaming)
+        #: at the same router regenerates the identical punch every
+        #: cycle, so the split into locally-delivered targets and
+        #: per-neighbor relay sets repeats constantly.  Behavior-exact;
+        #: enabled by the scheme only under the active-set kernel so
+        #: the naive kernel keeps seed cost.
+        self.memoize = False
+        self._route_cache: Dict[Tuple[int, frozenset], tuple] = {}
         # --- statistics ---------------------------------------------------
         #: Link-cycles on which a (merged) punch signal was transmitted;
         #: feeds the punch-propagation energy overhead of Fig. 11.
@@ -61,6 +71,29 @@ class PunchFabric:
         requirements); relayed targets reach each neighbor one cycle
         later.
         """
+        if self.memoize and self.faults is None:
+            # Hot path: ``_process`` inlined, as in :meth:`deliver`.
+            if type(targets) is not frozenset:
+                targets = frozenset(targets)
+            key = (router, targets)
+            entry = self._route_cache.get(key)
+            if entry is None:
+                entry = self._route_cache[key] = self._decompose(
+                    router, targets, cycle
+                )
+            delivered, relays = entry
+            self.targets_delivered += delivered
+            if delivered or relays:
+                self.on_punch(router, cycle)
+            pending = self._pending
+            for nxt, tset in relays:
+                self.link_transmissions += 1
+                bucket = pending.get(nxt)
+                if bucket is None:
+                    pending[nxt] = tset
+                else:
+                    pending[nxt] = bucket | tset
+            return
         self._process(router, targets, cycle)
 
     def deliver(self, cycle: int) -> None:
@@ -75,6 +108,32 @@ class PunchFabric:
         if not self._pending:
             return
         pending, self._pending = self._pending, {}
+        if self.memoize and self.faults is None:
+            # Hot path: the per-router processing of ``_process`` inlined
+            # (same order, same effects) — one call layer fewer for every
+            # wavefront hop, every cycle.
+            cache = self._route_cache
+            on_punch = self.on_punch
+            new_pending = self._pending
+            for router, targets in pending.items():
+                if type(targets) is not frozenset:
+                    targets = frozenset(targets)
+                key = (router, targets)
+                entry = cache.get(key)
+                if entry is None:
+                    entry = cache[key] = self._decompose(router, targets, cycle)
+                delivered, relays = entry
+                self.targets_delivered += delivered
+                if delivered or relays:
+                    on_punch(router, cycle)
+                for nxt, tset in relays:
+                    self.link_transmissions += 1
+                    bucket = new_pending.get(nxt)
+                    if bucket is None:
+                        new_pending[nxt] = tset
+                    else:
+                        new_pending[nxt] = bucket | tset
+            return
         for router, targets in pending.items():
             self._process(router, targets, cycle)
 
@@ -110,6 +169,33 @@ class PunchFabric:
                 self._delayed.setdefault(cycle + 1, []).append(
                     (router, set(targets))
                 )
+        if self.memoize:
+            if type(targets) is not frozenset:
+                targets = frozenset(targets)
+            key = (router, targets)
+            entry = self._route_cache.get(key)
+            if entry is None:
+                entry = self._route_cache[key] = self._decompose(
+                    router, targets, cycle
+                )
+            delivered, relays = entry
+            self.targets_delivered += delivered
+            if delivered or relays:
+                # Implicit notification: any punch arriving at or
+                # passing through a router wakes it (Sec. 4.1 step 2).
+                self.on_punch(router, cycle)
+            pending = self._pending
+            for nxt, tset in relays:
+                self.link_transmissions += 1
+                bucket = pending.get(nxt)
+                if bucket is None:
+                    # Frozensets flow through ``_pending`` unchanged
+                    # (and un-copied) until a merge is needed, so the
+                    # next hop's memo key needs no conversion either.
+                    pending[nxt] = tset
+                else:
+                    pending[nxt] = bucket | tset
+            return
         touched = False
         outgoing: Dict[int, Set[int]] = {}
         for target in targets:
@@ -118,7 +204,11 @@ class PunchFabric:
                 self.targets_delivered += 1
                 continue
             nxt = self.routing.next_hop(router, target)
-            assert nxt is not None
+            if nxt is None:
+                raise SimulationError(
+                    f"punch relay toward {target} has no next hop",
+                    cycle=cycle, router=router,
+                )
             outgoing.setdefault(nxt, set()).add(target)
         if touched:
             # Implicit notification: any punch arriving at or passing
@@ -131,3 +221,26 @@ class PunchFabric:
                 self._pending[nxt] = tset
             else:
                 bucket |= tset
+
+    def _decompose(
+        self, router: int, targets: Iterable[int], cycle: int
+    ) -> Tuple[int, Tuple[Tuple[int, frozenset], ...]]:
+        """Split ``targets`` at ``router`` into (locally delivered count,
+        per-next-hop relay target sets) — a pure function of the static
+        XY routing, safe to memoize."""
+        delivered = 0
+        outgoing: Dict[int, Set[int]] = {}
+        for target in targets:
+            if target == router:
+                delivered += 1
+                continue
+            nxt = self.routing.next_hop(router, target)
+            if nxt is None:
+                raise SimulationError(
+                    f"punch relay toward {target} has no next hop",
+                    cycle=cycle, router=router,
+                )
+            outgoing.setdefault(nxt, set()).add(target)
+        return delivered, tuple(
+            (nxt, frozenset(tset)) for nxt, tset in outgoing.items()
+        )

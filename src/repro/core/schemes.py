@@ -21,13 +21,17 @@ the paper's framing.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Set, Tuple
 
 from ..noc.network import Network
 from ..noc.packet import Packet
 from ..noc.policy import AlwaysOnPolicy, PowerPolicy
-from ..powergate.controller import PowerGateController
+from ..noc.topology import Direction
+from ..powergate.controller import PGState, PowerGateController
 from .punch_fabric import PunchFabric
+
+#: Shared empty punch-target set for routers whose heads need no wakeups.
+_EMPTY_TARGETS: frozenset = frozenset()
 
 
 class NoPG(AlwaysOnPolicy):
@@ -65,6 +69,32 @@ class PowerGatedScheme(PowerPolicy):
         self.controllers: List[PowerGateController] = []
         self.fabric: Optional[PunchFabric] = None
         self._slack2_hold: Dict[int, int] = {}
+        # --- active-set kernel state (see attach) -----------------------
+        #: Whether the attached network runs the active-set kernel.
+        self._active = False
+        #: Controllers whose FSM step is non-trivial this cycle: every
+        #: non-OFF controller.  A controller leaves when a step observes
+        #: it OFF and re-enters via its ``wake_hook`` the moment any
+        #: wakeup event pulls it out of OFF, so the invariant
+        #: "non-OFF => armed" holds at every observation point.
+        self._armed: Set[int] = set()
+        #: Last cycle whose controller-step phase completed; the lazy
+        #: OFF-cycle accounting clock for skipped controllers.
+        self._stepped_through = -1
+        #: Event-driven sleep deadlines: cycle -> [(node, quiescent
+        #: since)].  When a step observes a controller fully quiescent
+        #: (ACTIVE, datapath empty, no NI demand, no wakeup signal),
+        #: its inputs cannot change without an external event — so
+        #: instead of stepping it every cycle, the scheme computes the
+        #: cycle its sleep decision will fire and parks the controller
+        #: until then.  Any disturbance (wakeup request, flit headed
+        #: its way) settles the owed accounting and re-arms stepping;
+        #: the parked entry is then stale and skipped by the ``since``
+        #: check.
+        self._sleep_deadlines: Dict[int, List[Tuple[int, int]]] = {}
+        #: Per-router punch-target memo: router_id -> (head_version,
+        #: targets).  Valid until the router's front head flits change.
+        self._punch_cache: Dict[int, Tuple[int, Set[int]]] = {}
         #: Baseline blocking-wakeup fallback: when a flit is stalled by a
         #: gated neighbor, assert the one-hop WU handshake directly at
         #: that neighbor's controller.  Off by default (the punch fabric
@@ -92,7 +122,23 @@ class PowerGatedScheme(PowerPolicy):
             PowerGateController(node, self.wakeup_latency, self.timeout)
             for node in range(cfg.num_nodes)
         ]
+        self._active = cfg.kernel == "active"
+        self._faulted = False
+        self._armed = set(range(cfg.num_nodes))
+        self._stepped_through = -1
+        self._punch_cache = {}
+        self._singleton_targets = {}
+        self._sleep_deadlines = {}
+        if self._active:
+            for controller in self.controllers:
+                controller.clock = self._controller_clock
+                controller.wake_hook = self._armed.add
         self.fabric = PunchFabric(network.routing, self._on_punch)
+        # Punch routing is static: memoizing the per-(router, targets)
+        # relay decomposition is behavior-exact, but it is gated to the
+        # active kernel so the naive kernel stays a faithful seed-cost
+        # reference for the benchmarks.
+        self.fabric.memoize = self._active
         # Targeted-router lookups happen for every buffered head flit
         # every cycle; memoize per (current, destination) at the fixed
         # punch horizon.
@@ -111,8 +157,27 @@ class PowerGatedScheme(PowerPolicy):
 
         self._router_ahead = cached_ahead
 
+    def _controller_clock(self) -> int:
+        """Lazy OFF-accounting clock handed to skipped controllers."""
+        return self._stepped_through
+
     def _on_punch(self, router: int, cycle: int) -> None:
-        self.controllers[router].request_wakeup(cycle, self.expectation_window)
+        controller = self.controllers[router]
+        if controller._quiescent_since is not None and controller.faults is None:
+            # Parked controller: absorb the wakeup without waking the
+            # FSM — the inline twin of ``request_wakeup``'s parked fast
+            # path (its ``clock()`` is ``self._stepped_through``).
+            reset_step = self._stepped_through + 1
+            if reset_step != controller._parked_reset_last:
+                controller._parked_reset_prev = controller._parked_reset_last
+                controller._parked_reset_last = reset_step
+            window = self.expectation_window
+            if window > 0:
+                expect = cycle + window
+                if expect > controller.expect_until:
+                    controller.expect_until = expect
+            return
+        controller.request_wakeup(cycle, self.expectation_window)
 
     def on_faults_installed(self, injector) -> None:
         """Wire the injector into the punch fabric and every controller,
@@ -122,6 +187,71 @@ class PowerGatedScheme(PowerPolicy):
         for controller in self.controllers:
             controller.faults = injector
         self.blocking_fallback = True
+        # Fault dispositions are drawn per delivered wakeup request, so
+        # the lazy parked-controller paths must not absorb requests:
+        # resume per-cycle stepping for every parked controller and
+        # stop parking from here on.
+        self._faulted = True
+        if self._active:
+            for controller in self.controllers:
+                if controller._quiescent_since is not None:
+                    controller.settle_quiescence()
+                    self._armed.add(controller.router_id)
+
+    def on_router_disturbed(self, router_id: int) -> None:
+        """A flit was sent toward ``router_id``: its controller's
+        datapath-empty input changes without a wakeup signal.
+
+        The sender already incremented ``incoming_in_flight``, so every
+        step from the next one on is provably ``busy`` until the
+        emptied hook fires — the quiescent park converts in place into
+        a busy skip instead of bouncing through the armed set for one
+        busy step.  Busy-skip parks are unaffected (the datapath stays
+        non-empty) and WAKING parks ignore the datapath until their
+        wake-at transition, which reads it fresh.
+        """
+        controller = self.controllers[router_id]
+        if (
+            controller._quiescent_since is not None
+            and not controller._parked_busy
+            and controller.state is PGState.ACTIVE
+        ):
+            controller.settle_quiescence()
+            if self._faulted:
+                self._armed.add(router_id)
+            else:
+                controller.enter_busy_skip(self._stepped_through)
+
+    def on_router_emptied(self, router_id: int) -> None:
+        """The last flit left ``router_id``'s datapath: a busy-skip
+        parked controller sees its sleep precondition change.
+
+        Idle counting restarts at the next step, so the controller
+        re-parks directly as quiescent with its sleep decision due a
+        full timeout from now; a wakeup still pending consumption
+        translates into a parked reset one step later, exactly as if
+        the next stepped cycle had consumed it.
+        """
+        controller = self.controllers[router_id]
+        if controller._parked_busy:
+            controller.settle_quiescence()
+            if self._faulted:
+                self._armed.add(router_id)
+                return
+            now = self._stepped_through
+            controller.enter_quiescence(now)
+            if controller.wu_seen:
+                controller.wu_seen = False
+                controller._parked_reset_last = now + 1
+                deadline = now + 1 + controller.timeout
+            else:
+                deadline = now + controller.timeout
+            expect_gate = controller.expect_until + 1
+            if expect_gate > deadline:
+                deadline = expect_gate
+            self._sleep_deadlines.setdefault(deadline, []).append(
+                (router_id, now)
+            )
 
     def note_blocked(self, router_id: int, next_router: int, packet, cycle: int) -> None:
         """A flit is stalled behind a gated-off/waking neighbor.
@@ -143,8 +273,18 @@ class PowerGatedScheme(PowerPolicy):
         return self.controllers[router_id].is_available
 
     def is_router_available_by(self, router_id: int, by_cycle: int) -> bool:
-        """Whether the router will be powered on at ``by_cycle`` (ETA check)."""
-        return self.controllers[router_id].available_by(by_cycle)
+        """Whether the router will be powered on at ``by_cycle`` (ETA check).
+
+        Inline twin of :meth:`PowerGateController.available_by` — this
+        probe runs once per SA-ready VC per cycle.
+        """
+        controller = self.controllers[router_id]
+        state = controller.state
+        if state is PGState.ACTIVE:
+            return True
+        if state is PGState.WAKING:
+            return controller.wake_at <= by_cycle
+        return False
 
     def router_is_off(self, router_id: int) -> bool:
         """Whether the router is currently gated off."""
@@ -158,7 +298,17 @@ class PowerGatedScheme(PowerPolicy):
     # Per-cycle operation
     # ------------------------------------------------------------------
     def begin_cycle(self, cycle: int) -> None:
-        """Deliver punches, apply slack-2 holds, step every controller FSM."""
+        """Deliver punches, apply slack-2 holds, step the armed FSMs.
+
+        Under the active-set kernel only controllers in the armed set
+        (non-OFF) and nodes whose NI has work are visited: for every
+        other node the naive per-node iteration is a provable no-op —
+        ``wants_local_router`` is false without NI work, and an OFF
+        controller's step only accrues ``off_cycles`` (accounted lazily
+        against ``_stepped_through``) and clears an already-clear
+        ``wu_seen``.  Visiting in sorted node order reproduces the
+        naive index-order interleaving of ``request_wakeup``/``step``.
+        """
         self.fabric.deliver(cycle)
         if self._slack2_hold:
             expired = []
@@ -171,34 +321,218 @@ class PowerGatedScheme(PowerPolicy):
                 del self._slack2_hold[node]
         interfaces = self.network.interfaces
         routers = self.network.routers
-        for node, controller in enumerate(self.controllers):
-            ni_wants = interfaces[node].wants_local_router(cycle)
-            if ni_wants:
-                # The NI's WU wire into its local PG controller.
-                controller.request_wakeup(cycle, 0)
-            controller.step(cycle, routers[node].datapath_empty(), ni_wants)
+        controllers = self.controllers
+        if self._active:
+            armed = self._armed
+            active_nis = self.network.active_nis
+            due = self._sleep_deadlines.pop(cycle, None)
+            # Parked quiescent controllers whose sleep decision fires
+            # this cycle are visited at their sorted node position so
+            # the decision step lands exactly where the naive kernel's
+            # per-node step would — in particular *after* this node's
+            # own NI wakeup request, which (as in the seed) prevents
+            # rather than cancels the sleep.
+            due_map = dict(due) if due else None
+            visit = armed | active_nis
+            if due_map:
+                visit |= due_map.keys()
+            for node in sorted(visit):
+                ni_wants = node in active_nis and interfaces[
+                    node
+                ].wants_local_router(cycle)
+                if ni_wants:
+                    # The NI's WU wire into its local PG controller;
+                    # this re-arms an OFF (or parked) controller via
+                    # its wake_hook.
+                    controllers[node].request_wakeup(cycle, 0)
+                if node in armed:
+                    controller = controllers[node]
+                    empty = routers[node].datapath_empty()
+                    controller.step(cycle, empty, ni_wants)
+                    state = controller.state
+                    if state is PGState.OFF:
+                        armed.discard(node)
+                    elif self._faulted:
+                        # Fault dispositions are drawn per delivered
+                        # wakeup request, so controllers must stay on
+                        # the fully stepped path.
+                        pass
+                    elif state is PGState.ACTIVE:
+                        if empty:
+                            # Empty-datapath ACTIVE step: every input
+                            # the FSM reacts to from here on arrives as
+                            # a request_wakeup (absorbed lazily while
+                            # parked) or as a disturbance hook when a
+                            # flit heads this way — park the controller
+                            # until its sleep decision, due when the
+                            # idle timeout has elapsed and any punch
+                            # forewarning window has passed.
+                            deadline = (
+                                cycle + controller.timeout - controller.idle_cycles
+                            )
+                            expect_gate = controller.expect_until + 1
+                            if expect_gate > deadline:
+                                deadline = expect_gate
+                            armed.discard(node)
+                            controller.enter_quiescence(cycle)
+                            self._sleep_deadlines.setdefault(deadline, []).append(
+                                (node, cycle)
+                            )
+                        else:
+                            # Busy ACTIVE step: every further step is
+                            # ``busy`` until the datapath empties, and
+                            # the network reports that departure via
+                            # the disturbance hook.
+                            armed.discard(node)
+                            controller.enter_busy_skip(cycle)
+                    else:
+                        # WAKING: the FSM ticks deterministically until
+                        # ``wake_at``; park it until then.
+                        armed.discard(node)
+                        controller.enter_quiescence(cycle)
+                        self._sleep_deadlines.setdefault(
+                            controller.wake_at, []
+                        ).append((node, cycle))
+                elif due_map is not None:
+                    since = due_map.get(node)
+                    controller = controllers[node]
+                    # Busy parks never carry a sleep deadline: a
+                    # matching entry is a stale quiescent one whose
+                    # park was converted in place by the disturb hook.
+                    if (
+                        since is not None
+                        and controller._quiescent_since == since
+                        and not controller._parked_busy
+                    ):
+                        if controller.state is PGState.WAKING:
+                            # The wake-at transition step: fold the
+                            # owed WAKING cycles and run it for real.
+                            controller.settle_quiescence()
+                            controller.step(
+                                cycle, routers[node].datapath_empty(), ni_wants
+                            )
+                            armed.add(node)
+                            continue
+                        # Wakeups absorbed while parked reset the idle
+                        # count (and may have extended the forewarning
+                        # window): recompute the true sleep cycle and
+                        # re-park if it moved past this deadline.
+                        last = controller._parked_reset_last
+                        deadline = controller.expect_until + 1
+                        if last is not None:
+                            timed_out = last + controller.timeout
+                            if timed_out > deadline:
+                                deadline = timed_out
+                        if last is not None and deadline > cycle:
+                            self._sleep_deadlines.setdefault(
+                                deadline, []
+                            ).append((node, since))
+                        else:
+                            # Undisturbed through its deadline: fold
+                            # the owed quiescent steps and run the real
+                            # sleep decision step the naive kernel
+                            # would run now.
+                            controller.settle_quiescence()
+                            controller.step(cycle, True, False)
+                            if controller.state is not PGState.OFF:
+                                armed.add(node)  # safety net
+        else:
+            for node, controller in enumerate(controllers):
+                ni_wants = interfaces[node].wants_local_router(cycle)
+                if ni_wants:
+                    # The NI's WU wire into its local PG controller.
+                    controller.request_wakeup(cycle, 0)
+                controller.step(cycle, routers[node].datapath_empty(), ni_wants)
+        self._stepped_through = cycle
 
     def end_cycle(self, cycle: int) -> None:
         # Punch/WU wires are combinational functions of the wakeup
         # requirements visible this cycle (Sec. 6.6(1)): regenerate them
         # from every buffered head flit and every pending injection.
+        # Routers outside the network's active set have no buffered
+        # flits, so iterating the active set matches the naive scan; the
+        # per-router target set is memoized on ``head_version`` so a
+        # router whose heads are merely stalled does not recompute it.
         """Regenerate punch signals from this cycle's wakeup requirements."""
         ahead = self._router_ahead
         hops = self.punch_hops
         fabric = self.fabric
-        for router in self.network.routers:
-            if not router._occupied:
-                continue
-            requirements = router.head_flit_requirements()
-            if not requirements:
-                continue
-            rid = router.router_id
-            targets = {ahead(rid, dest, hops) for _next, dest in requirements}
-            fabric.send_local(rid, targets, cycle)
+        routers = self.network.routers
+        if self._active:
+            cache = self._punch_cache
+            singles = self._singleton_targets
+            local = Direction.LOCAL
+            for rid in sorted(self.network.active_routers):
+                router = routers[rid]
+                if not router._occupied:
+                    continue
+                version = router.head_version
+                cached = cache.get(rid)
+                if cached is not None and cached[0] == version:
+                    targets = cached[1]
+                else:
+                    # ``head_flit_requirements`` inlined (occupied VCs
+                    # are never empty), with the ubiquitous one-head
+                    # case building its frozenset once per (router,
+                    # destination) instead of once per cycle.
+                    connected = router.connected
+                    first = first_dest = None
+                    rest = None
+                    for vc in router._occupied:
+                        front = vc.flits[0]
+                        if not front.is_head:
+                            continue
+                        route = vc.route
+                        if route is None or route is local:
+                            continue
+                        if connected[route] is None:
+                            continue
+                        dest = front.packet.destination
+                        target = ahead(rid, dest, hops)
+                        if first is None:
+                            first, first_dest = target, dest
+                        elif rest is None:
+                            rest = {first, target}
+                        else:
+                            rest.add(target)
+                    if rest is not None:
+                        targets = frozenset(rest)
+                    elif first is not None:
+                        key = (rid, first_dest)
+                        targets = singles.get(key)
+                        if targets is None:
+                            targets = singles[key] = frozenset((first,))
+                    else:
+                        targets = _EMPTY_TARGETS
+                    cache[rid] = (version, targets)
+                if targets:
+                    fabric.send_local(rid, targets, cycle)
+        else:
+            # Seed-cost reference path: recompute every cycle.
+            for router in routers:
+                if not router._occupied:
+                    continue
+                requirements = router.head_flit_requirements()
+                if not requirements:
+                    continue
+                rid = router.router_id
+                targets = {ahead(rid, dest, hops) for _next, dest in requirements}
+                fabric.send_local(rid, targets, cycle)
         self._generate_injection_punches(cycle)
 
     def _generate_injection_punches(self, cycle: int) -> None:
         """Injection-side wakeup generation; scheme-specific."""
+
+    def _punching_interfaces(self):
+        """NIs that may hold punch-generating packets, in node order.
+
+        Under the active-set kernel only NIs with queued/streaming work
+        can punch; the naive kernel scans every NI like the seed did.
+        """
+        interfaces = self.network.interfaces
+        if self._active:
+            return [interfaces[node] for node in sorted(self.network.active_nis)]
+        return interfaces
 
     # ------------------------------------------------------------------
     # NI hooks
@@ -291,7 +625,7 @@ class PowerPunchSignal(PowerGatedScheme):
         ni_latency = self.network.config.ni_latency
         ahead = self._router_ahead
         hops = self.punch_hops
-        for ni in self.network.interfaces:
+        for ni in self._punching_interfaces():
             targets = None
             for queue in ni.queues:
                 if queue:
@@ -342,7 +676,7 @@ class PowerPunchPG(PowerPunchSignal):
         # including those still inside the NI pipeline (Fig. 6).
         ahead = self._router_ahead
         hops = self.punch_hops
-        for ni in self.network.interfaces:
+        for ni in self._punching_interfaces():
             targets = None
             for queue in ni.queues:
                 for packet in queue:

@@ -38,10 +38,18 @@ class NoCConfig:
     ni_latency: int = 3
     #: Maximum packets buffered per VN queue in each NI (0 = unbounded).
     ni_queue_capacity: int = 0
+    #: Per-cycle kernel: ``"active"`` visits only components with work
+    #: (routers with occupied VCs, NIs with queued/streaming packets,
+    #: armed PG-controller FSMs); ``"naive"`` scans every component
+    #: every cycle.  Both are cycle-exact — the naive kernel is kept as
+    #: the reference for equivalence tests and benchmarks.
+    kernel: str = "active"
 
     def __post_init__(self) -> None:
         if self.router_stages not in (3, 4):
             raise ValueError("router_stages must be 3 or 4")
+        if self.kernel not in ("active", "naive"):
+            raise ValueError("kernel must be 'active' or 'naive'")
         if self.vcs_per_vnet < 1:
             raise ValueError("need at least one VC per virtual network")
         if self.link_latency != 1:

@@ -199,6 +199,7 @@ class InvariantChecker:
         self.check_flit_conservation(cycle)
         self.check_credit_conservation(cycle)
         self.check_vc_ownership(cycle)
+        self.check_active_sets(cycle)
         self.check_watchdog(cycle)
 
     # ------------------------------------------------------------------
@@ -340,6 +341,65 @@ class InvariantChecker:
                                 cycle=cycle, router=rid, port=out_dir, vc=out_vc,
                             )
                         )
+
+    def check_active_sets(self, cycle: int) -> None:
+        """Active-set coverage: the work-sets the kernel iterates must
+        contain every component the naive full scan would visit.
+
+        Supersets are harmless (a stale entry is a wasted visit); a
+        *missing* entry means a component with work would be silently
+        skipped, so only the subset direction is an invariant:
+
+        * every router with occupied VCs is in ``active_routers``;
+        * every NI with queued/streaming packets is in ``active_nis``;
+        * every non-OFF PG controller is either armed for stepping or
+          parked in the quiescent-skip state with lazy accounting
+          (checked only for policies exposing active-set scheme state).
+        """
+        network = self.network
+        for router in network.routers:
+            if router._occupied and router.router_id not in network.active_routers:
+                self._violation(
+                    InvariantViolation(
+                        "active-set-coverage",
+                        f"router {router.router_id} has "
+                        f"{len(router._occupied)} occupied VC(s) but is "
+                        "missing from active_routers",
+                        cycle=cycle, router=router.router_id,
+                    )
+                )
+        for ni in network.interfaces:
+            if ni.has_work() and ni.node not in network.active_nis:
+                self._violation(
+                    InvariantViolation(
+                        "active-set-coverage",
+                        f"NI {ni.node} has queued/streaming work but is "
+                        "missing from active_nis",
+                        cycle=cycle, router=ni.node,
+                    )
+                )
+        policy = network.policy
+        armed = getattr(policy, "_armed", None)
+        controllers = getattr(policy, "controllers", None)
+        if armed is None or not controllers or not getattr(policy, "_active", False):
+            return
+        from ..powergate.controller import PGState
+
+        for controller in controllers:
+            if (
+                controller.state is not PGState.OFF
+                and controller.router_id not in armed
+                and getattr(controller, "_quiescent_since", None) is None
+            ):
+                self._violation(
+                    InvariantViolation(
+                        "active-set-coverage",
+                        f"PG controller {controller.router_id} is "
+                        f"{controller.state.name} but neither armed for "
+                        "stepping nor parked quiescent",
+                        cycle=cycle, router=controller.router_id,
+                    )
+                )
 
     def check_watchdog(self, cycle: int) -> None:
         """Flag packets whose age exceeds the configured bounds."""

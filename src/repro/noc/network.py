@@ -17,12 +17,30 @@ Per-cycle ordering:
    router's speculative SA);
 6. power policy ``end_cycle`` (punch-signal generation from the
    wakeup requirements visible this cycle, energy accounting).
+
+Active-set kernel: with ``NoCConfig.kernel == "active"`` (the default)
+the kernel maintains explicit work-sets so the per-cycle cost scales
+with activity instead of mesh size:
+
+* ``active_routers`` — router ids with occupied input VCs.  A router
+  enters when a flit is buffered into it (``_deliver_flits``, the only
+  path by which a VC becomes occupied) and leaves after a switch-
+  allocation round drains its last flit.
+* ``active_nis`` — NI node ids with queued or streaming packets.  An
+  NI enters when a packet is (re)queued (the NI fires the kernel's
+  ``on_work`` callback) and leaves once its queues and streams empty.
+
+Both sets are iterated in sorted id order, which matches the naive
+kernel's index-order scans exactly — components outside the sets would
+be no-ops — so the two kernels are cycle-exact replicas of each other.
+``kernel == "naive"`` keeps the full per-cycle scans as the reference
+implementation for equivalence tests and benchmarks.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Callable, DefaultDict, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, DefaultDict, Dict, List, Optional, Set, Tuple
 
 from .config import NoCConfig
 from .errors import DrainTimeoutError, TopologyError
@@ -70,8 +88,22 @@ class Network:
             for direction, neighbor in self.topology.neighbors(router.router_id):
                 router.connected[direction] = neighbor
 
+        #: Active-set kernel work-sets (see module docstring).  They are
+        #: maintained under both kernels — entry is event-driven and
+        #: cheap — but only the active kernel iterates them in ``step``.
+        self._active_kernel = config.kernel == "active"
+        self.active_routers: Set[int] = set()
+        self.active_nis: Set[int] = set()
+
         self.interfaces: List[NetworkInterface] = [
-            NetworkInterface(node, config, self.routers[node], self.policy, self._ni_send)
+            NetworkInterface(
+                node,
+                config,
+                self.routers[node],
+                self.policy,
+                self._ni_send,
+                on_work=self.active_nis.add,
+            )
             for node in range(config.num_nodes)
         ]
 
@@ -91,6 +123,9 @@ class Network:
         #: Optional robustness layer (see install_faults / install_invariants).
         self.faults: Optional[FaultInjector] = None
         self.invariants: Optional["InvariantChecker"] = None
+        # Context for the bound-method SA sinks (see _run_switch_allocation).
+        self._sa_router: Optional[Router] = None
+        self._sa_cycle = 0
         self.policy.attach(self)
         self._apply_ambient_robustness()
 
@@ -154,22 +189,35 @@ class Network:
         self.stats.record_delivery(
             packet, self.topology.hop_distance(packet.source, packet.destination)
         )
-        for listener in self.interfaces[packet.destination]._eject_listeners:
-            listener(packet, cycle)
+        self.interfaces[packet.destination].notify_delivery(packet, cycle)
 
     def in_flight_packets(self) -> int:
-        """Packets created but not yet delivered (NI queues + network)."""
+        """Flits/packets created but not yet delivered, counted over the
+        same universe :meth:`is_drained` checks: NI queues and streams,
+        router buffers, flits on links, and flits mid-ejection."""
         pending = sum(ni.pending_packets() for ni in self.interfaces)
-        buffered_heads = sum(r.buffered_flits() for r in self.routers)
+        buffered = sum(r.buffered_flits() for r in self.routers)
         flying = sum(len(v) for v in self._flit_events.values())
-        return pending + buffered_heads + flying
+        ejecting = sum(len(v) for v in self._eject_events.values())
+        return pending + buffered + flying + ejecting
 
     def is_drained(self) -> bool:
-        """Whether no packet, flit, credit or policy work is outstanding."""
-        if any(ni.pending_packets() for ni in self.interfaces):
-            return False
-        if any(not r.datapath_empty() for r in self.routers):
-            return False
+        """Whether no packet, flit, credit or policy work is outstanding.
+
+        Scans only the active sets: components outside them cannot hold
+        work (NIs fire ``on_work`` whenever a packet is queued; routers
+        are added when a flit is buffered, and in-flight flits show up
+        in ``_flit_events``).  Stale entries — possible under the naive
+        kernel, which never prunes — are re-checked and dropped here.
+        """
+        for node in sorted(self.active_nis):
+            if self.interfaces[node].pending_packets():
+                return False
+        self.active_nis.clear()
+        for router_id in sorted(self.active_routers):
+            if not self.routers[router_id].datapath_empty():
+                return False
+        self.active_routers.clear()
         if any(self._flit_events.values()):
             return False
         if any(self._eject_events.values()):
@@ -213,19 +261,30 @@ class Network:
         self._deliver_flits(cycle)
         self._deliver_credits(cycle)
         self.policy.begin_cycle(cycle)
-        for ni in self.interfaces:
-            if ni.streams or ni.queues[0] or ni.queues[1] or ni.queues[2]:
-                ni.step(cycle)
+        if self._active_kernel:
+            # Sorted iteration reproduces the naive kernel's index-order
+            # scan (NIs it skips have no work and would be no-ops).
+            for node in sorted(self.active_nis):
+                ni = self.interfaces[node]
+                if ni.has_work():
+                    ni.step(cycle)
+                if not ni.has_work():
+                    self.active_nis.discard(node)
+        else:
+            for ni in self.interfaces:
+                if ni.has_work():
+                    ni.step(cycle)
         # A flit granted SA this cycle lands downstream _SA_TO_ARRIVAL
         # cycles later; a waking router that completes by then may be
-        # used (see PowerPolicy.is_router_available_by).
+        # used (see PowerPolicy.is_router_available_by).  The probe is
+        # passed unbound with its arrival cycle — one probe call per
+        # SA-ready VC instead of a closure hop plus the probe.
         available_by = self.policy.is_router_available_by
         arrival_cycle = cycle + _SA_TO_ARRIVAL
-
-        def is_available(router_id: int) -> bool:
-            return available_by(router_id, arrival_cycle)
-
-        busy = [router for router in self.routers if router._occupied]
+        if self._active_kernel:
+            busy = [self.routers[rid] for rid in sorted(self.active_routers)]
+        else:
+            busy = [router for router in self.routers if router._occupied]
         if self.faults is not None:
             # A stalled router buffers arrivals but performs no VA/SA.
             busy = [
@@ -233,10 +292,29 @@ class Network:
                 for router in busy
                 if not self.faults.is_stalled(router.router_id, cycle)
             ]
-        for router in busy:
-            router.do_vc_allocation(cycle)
-        for router in busy:
-            self._run_switch_allocation(router, cycle, is_available)
+        if self._active_kernel:
+            # Allocator rounds before a router's wake deadline are
+            # provable no-ops (no eligible VC, no blocked-VC report, no
+            # arbitration-pointer movement), so the active kernel skips
+            # them; the deadlines are recomputed by every round that
+            # does run and only lowered by eligibility-creating events.
+            for router in busy:
+                if cycle >= router._va_wake_at:
+                    router.do_vc_allocation(cycle)
+            discard = self.active_routers.discard
+            for router in busy:
+                if cycle >= router._sa_wake_at:
+                    self._run_switch_allocation(router, cycle, available_by, arrival_cycle)
+                    # Routers drain only through this SA round (stalled
+                    # routers were filtered from ``busy`` but stay
+                    # occupied); a skipped round cannot drain.
+                    if not router._occupied:
+                        discard(router.router_id)
+        else:
+            for router in busy:
+                router.do_vc_allocation(cycle)
+            for router in busy:
+                self._run_switch_allocation(router, cycle, available_by, arrival_cycle)
         self.policy.end_cycle(cycle)
         self.stats.cycles = cycle + 1
         if self.invariants is not None:
@@ -248,26 +326,34 @@ class Network:
     # ------------------------------------------------------------------
     def _deliver_flits(self, cycle: int) -> None:
         events = self._flit_events.pop(cycle, None)
+        faults = self.faults
+        invariants = self.invariants
         if events:
+            routers = self.routers
+            mark_active = self.active_routers.add
             for router_id, direction, vc, flit in events:
-                router = self.routers[router_id]
+                router = routers[router_id]
                 router.incoming_in_flight -= 1
-                if self.faults is not None:
-                    self.faults.maybe_corrupt(router_id, flit, cycle)
-                if self.invariants is not None:
-                    self.invariants.on_flit_arrival(router_id, flit, cycle)
+                if faults is not None:
+                    faults.maybe_corrupt(router_id, flit, cycle)
+                if invariants is not None:
+                    invariants.on_flit_arrival(router_id, flit, cycle)
                 router.receive_flit(direction, vc, flit, cycle)
+                mark_active(router_id)
         ejections = self._eject_events.pop(cycle, None)
         if ejections:
+            interfaces = self.interfaces
+            hop_distance = self.topology.hop_distance
+            record_delivery = self.stats.record_delivery
             for node, flit in ejections:
-                if self.invariants is not None:
-                    self.invariants.on_flit_ejected(node, flit, cycle)
-                self.interfaces[node].eject_flit(flit, cycle)
+                if invariants is not None:
+                    invariants.on_flit_ejected(node, flit, cycle)
+                interfaces[node].eject_flit(flit, cycle)
                 if flit.is_tail:
                     packet = flit.packet
-                    self.stats.record_delivery(
+                    record_delivery(
                         packet,
-                        self.topology.hop_distance(packet.source, packet.destination),
+                        hop_distance(packet.source, packet.destination),
                     )
 
     def _deliver_credits(self, cycle: int) -> None:
@@ -293,47 +379,45 @@ class Network:
         self._flit_events[cycle + _NI_TO_ARRIVAL].append(
             (node, Direction.LOCAL, vc, flit)
         )
+        if self._active_kernel:
+            # The local router's datapath is no longer empty: a parked
+            # quiescent PG controller must resume per-cycle stepping.
+            self.policy.on_router_disturbed(node)
 
     def _run_switch_allocation(
-        self, router: Router, cycle: int, is_available: Callable[[int], bool]
+        self,
+        router: Router,
+        cycle: int,
+        available_by: Callable[[int, int], bool],
+        arrival_cycle: int,
     ) -> None:
-        def depart(
-            flit: Flit,
-            in_dir: Direction,
-            in_vc: int,
-            out_dir: Direction,
-            out_vc: int,
-        ) -> None:
-            self.stats.router_traversals += 1
-            self.link_counts[router.router_id][out_dir] += 1
-            self._schedule_credit_return(router, in_dir, in_vc, cycle)
-            if out_dir == Direction.LOCAL:
-                self._eject_events[cycle + 1].append((router.router_id, flit))
-            else:
-                neighbor = router.connected[out_dir]
-                if neighbor is None:
-                    raise TopologyError(
-                        "flit departed toward a mesh edge with no neighbor",
-                        cycle=cycle, router=router.router_id, port=out_dir,
-                        vc=out_vc, packet=flit.packet.packet_id,
-                    )
-                self.stats.link_traversals += 1
-                self.routers[neighbor].incoming_in_flight += 1
-                self._flit_events[cycle + _SA_TO_ARRIVAL].append(
-                    (neighbor, out_dir.opposite, out_vc, flit)
-                )
+        # The departure/blocked sinks are bound methods reading the
+        # (router, cycle) context from attributes instead of closures:
+        # allocating two function objects per router per cycle is
+        # measurable in the cycle kernel's hot path.
+        self._sa_router = router
+        self._sa_cycle = cycle
+        router.do_switch_allocation(
+            cycle,
+            available_by,
+            arrival_cycle,
+            self._sa_depart,
+            self._sa_note_blocked,
+        )
 
-        def note_blocked(neighbor: int, flit: Flit) -> None:
-            packet = flit.packet
-            packet.blocked_routers.add(neighbor)
-            packet.wakeup_wait_cycles += 1
-            self.policy.note_blocked(router.router_id, neighbor, packet, cycle)
-
-        router.do_switch_allocation(cycle, is_available, depart, note_blocked)
-
-    def _schedule_credit_return(
-        self, router: Router, in_dir: Direction, in_vc: int, cycle: int
+    def _sa_depart(
+        self,
+        flit: Flit,
+        in_dir: Direction,
+        in_vc: int,
+        out_dir: Direction,
+        out_vc: int,
     ) -> None:
+        router = self._sa_router
+        cycle = self._sa_cycle
+        self.stats.router_traversals += 1
+        self.link_counts[router.router_id][out_dir] += 1
+        # ``_schedule_credit_return`` inlined: one call per granted flit.
         if in_dir == Direction.LOCAL:
             # Encode NI targets as negative ids.
             self._credit_events[cycle + _SA_TO_CREDIT].append(
@@ -349,3 +433,38 @@ class Network:
             self._credit_events[cycle + _SA_TO_CREDIT].append(
                 (upstream, in_dir.opposite, in_vc)
             )
+        if out_dir == Direction.LOCAL:
+            self._eject_events[cycle + 1].append((router.router_id, flit))
+        else:
+            neighbor = router.connected[out_dir]
+            if neighbor is None:
+                raise TopologyError(
+                    "flit departed toward a mesh edge with no neighbor",
+                    cycle=cycle, router=router.router_id, port=out_dir,
+                    vc=out_vc, packet=flit.packet.packet_id,
+                )
+            self.stats.link_traversals += 1
+            self.routers[neighbor].incoming_in_flight += 1
+            self._flit_events[cycle + _SA_TO_ARRIVAL].append(
+                (neighbor, out_dir.opposite, out_vc, flit)
+            )
+            if self._active_kernel:
+                # The neighbor's datapath is no longer empty: its
+                # PG controller (if quiescently skipped) must
+                # resume per-cycle stepping from the next cycle.
+                self.policy.on_router_disturbed(neighbor)
+        if self._active_kernel and not router._occupied:
+            if not router.incoming_in_flight:
+                # This departure emptied the router's datapath: its
+                # own PG controller (if parked in the busy skip)
+                # sees its sleep precondition change.
+                self.policy.on_router_emptied(router.router_id)
+
+    def _sa_note_blocked(self, neighbor: int, flit: Flit) -> None:
+        packet = flit.packet
+        packet.blocked_routers.add(neighbor)
+        packet.wakeup_wait_cycles += 1
+        self.policy.note_blocked(
+            self._sa_router.router_id, neighbor, packet, self._sa_cycle
+        )
+

@@ -56,6 +56,7 @@ class NetworkInterface:
         router: Router,
         policy: PowerPolicy,
         send_flit: Callable[[int, int, Flit, int], None],
+        on_work: Optional[Callable[[int], None]] = None,
     ) -> None:
         self.node = node
         self.config = config
@@ -64,6 +65,9 @@ class NetworkInterface:
         #: Kernel callback: (node, local_vc, flit, cycle) -> schedules the
         #: flit into the local input port next cycle.
         self._send_flit = send_flit
+        #: Kernel callback fired whenever this NI gains work (a packet
+        #: was queued), so the active-set kernel re-schedules it.
+        self._on_work = on_work
         self.queues: List[Deque[Packet]] = [deque() for _ in range(NUM_VNETS)]
         #: NI-side credits for the local input port VCs.
         self.credits: List[int] = [
@@ -96,7 +100,17 @@ class NetworkInterface:
             )
         packet.created_at = cycle
         self.queues[int(packet.vnet)].append(packet)
+        if self._on_work is not None:
+            self._on_work(self.node)
         self.policy.on_message_created(self.node, packet, cycle)
+
+    def reinject(self, packet: Packet) -> None:
+        """Re-queue a packet that bypassed the mesh (e.g. a NoRD ring
+        packet re-entering at its exit node) without restarting the NI
+        pipeline delay: ``created_at`` is left untouched."""
+        self.queues[int(packet.vnet)].append(packet)
+        if self._on_work is not None:
+            self._on_work(self.node)
 
     def early_notice(self, cycle: int) -> None:
         """Forward a slack-2 style early notice to the power policy."""
@@ -105,6 +119,16 @@ class NetworkInterface:
     def add_eject_listener(self, listener: Callable[[Packet, int], None]) -> None:
         """Register a callback fired when packets finish ejecting here."""
         self._eject_listeners.append(listener)
+
+    def notify_delivery(self, packet: Packet, cycle: int) -> None:
+        """Announce an out-of-band delivery at this node.
+
+        Fires the same eject listeners a mesh ejection would, so
+        bypass paths (e.g. NoRD's ring) stay observationally identical
+        to normal deliveries without reaching into private state.
+        """
+        for listener in self._eject_listeners:
+            listener(packet, cycle)
 
     # ------------------------------------------------------------------
     # Sleep-gating signal toward the local PG controller
@@ -129,6 +153,16 @@ class NetworkInterface:
     def pending_packets(self) -> int:
         """Packets queued or mid-injection at this NI."""
         return sum(len(q) for q in self.queues) + len(self.streams)
+
+    def has_work(self) -> bool:
+        """Whether stepping this NI this cycle could do anything.
+
+        True while any stream is in flight or any vnet queue holds a
+        packet, independent of how many virtual networks exist.
+        """
+        if self.streams:
+            return True
+        return any(self.queues)
 
     # ------------------------------------------------------------------
     # Per-cycle operation

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from .buffers import InputPort, OutputPort, VCState, VirtualChannel
+from .buffers import BufferOverflowError, InputPort, OutputPort, VCState, VirtualChannel
 from .config import NoCConfig
 from .errors import SimulationError, TopologyError
 from .packet import Flit
@@ -32,6 +32,10 @@ from .topology import ALL_DIRECTIONS, Direction
 #: Callback signature used to hand a departing flit to the network
 #: kernel: (flit, in_direction, in_vc, out_direction, out_vc).
 DepartureSink = Callable[[Flit, Direction, int, Direction, int], None]
+
+#: Sentinel wake deadline: no VC can become allocator-eligible without
+#: an intervening event that lowers the deadline again.
+_NEVER = 1 << 60
 
 
 class Router:
@@ -69,6 +73,23 @@ class Router:
         #: therefore arbitration and the whole simulation — is
         #: deterministic.
         self._occupied: Dict[VirtualChannel, None] = {}
+        #: Bumped whenever the set of front head flits (and hence the
+        #: result of :meth:`head_flit_requirements`) may have changed.
+        #: Power schemes key their per-router punch-target caches on it
+        #: so a router whose heads are merely stalled does not recompute
+        #: targets every cycle.
+        self.head_version = 0
+        #: Earliest cycles at which a VA / SA round could do anything.
+        #: The active-set kernel skips allocator rounds before these
+        #: deadlines; both are conservative lower bounds (they may be
+        #: in the past, forcing a harmless no-op round, but are never
+        #: later than the first cycle with real allocator work).  Each
+        #: full allocator round recomputes its own deadline; events
+        #: that create new eligibility (head activation, VA grant,
+        #: stream flit landing in an empty ACTIVE VC) only ever lower
+        #: them.
+        self._va_wake_at = 0
+        self._sa_wake_at = 0
 
     # ------------------------------------------------------------------
     # Datapath state queries
@@ -100,11 +121,31 @@ class Router:
     ) -> None:
         """Buffer an arriving flit (its BW stage is this cycle)."""
         vc = self.input_ports[direction].vcs[vc_index]
-        was_empty = vc.is_empty
-        vc.push(flit, cycle)
+        flits = vc.flits
+        was_empty = not flits
+        # ``vc.push`` inlined — this runs once per flit per hop.
+        if len(flits) >= vc.depth:
+            raise BufferOverflowError(
+                f"VC overflow: {len(flits)}/{vc.depth} flits buffered, "
+                "credit flow control violated",
+                cycle=cycle, port=vc.port_direction, vc=vc.vc_index,
+                packet=flit.packet.packet_id,
+            )
+        flits.append(flit)
+        vc.arrivals.append(cycle)
         self._occupied[vc] = None
-        if was_empty and flit.is_head:
-            self._activate_front(vc, cycle)
+        if was_empty:
+            if flit.is_head:
+                self._activate_front(vc, cycle)
+            elif vc.state is VCState.ACTIVE:
+                # A stream's body flit landed in a drained-but-owned VC:
+                # it becomes the new front, so SA has work again once
+                # its pipeline stages complete.
+                gate = cycle + self.config.router_stages - 2
+                if vc.sa_eligible_at > gate:
+                    gate = vc.sa_eligible_at
+                if gate < self._sa_wake_at:
+                    self._sa_wake_at = gate
 
     def _activate_front(self, vc: VirtualChannel, cycle: int) -> None:
         """Start VA for the head flit now at the front of ``vc``."""
@@ -122,19 +163,30 @@ class Router:
         )
         vc.out_vc = None
         vc.va_eligible_at = max(cycle + 1, vc.front_arrival() + 1)
+        if vc.va_eligible_at < self._va_wake_at:
+            self._va_wake_at = vc.va_eligible_at
+        self.head_version += 1
 
     # ------------------------------------------------------------------
     # Virtual-channel allocation
     # ------------------------------------------------------------------
     def do_vc_allocation(self, cycle: int) -> None:
         """Grant free downstream VCs to head flits in WAIT_VA state."""
+        next_va = _NEVER
         for vc in self._occupied:
-            if vc.state is not VCState.WAIT_VA or cycle < vc.va_eligible_at:
+            if vc.state is not VCState.WAIT_VA:
+                continue
+            if cycle < vc.va_eligible_at:
+                if vc.va_eligible_at < next_va:
+                    next_va = vc.va_eligible_at
                 continue
             out_port = self.output_ports[vc.route]
             vnet = self.config.vnet_of_vc(vc.vc_index)
             candidate = out_port.free_vc_in(self.config.vcs_of_vnet(vnet))
             if candidate is None:
+                # All downstream VCs owned: one may free up any cycle.
+                if cycle + 1 < next_va:
+                    next_va = cycle + 1
                 continue
             out_port.owner[candidate] = (vc.port_direction, vc.vc_index)
             out_port.vc_rr_pointer = (candidate + 1) % len(out_port.credits)
@@ -143,6 +195,12 @@ class Router:
             # 4-stage routers separate VA and SA; the 3-stage router
             # speculates SA in the same cycle as VA (Fig. 3b).
             vc.sa_eligible_at = cycle + (1 if self.config.router_stages == 4 else 0)
+            gate = vc.front_arrival() + self.config.router_stages - 2
+            if vc.sa_eligible_at > gate:
+                gate = vc.sa_eligible_at
+            if gate < self._sa_wake_at:
+                self._sa_wake_at = gate
+        self._va_wake_at = next_va
 
     # ------------------------------------------------------------------
     # Switch allocation + switch/link traversal
@@ -150,27 +208,84 @@ class Router:
     def do_switch_allocation(
         self,
         cycle: int,
-        is_available: Callable[[int], bool],
+        available_by: Callable[[int, int], bool],
+        arrival_cycle: int,
         depart: DepartureSink,
         note_blocked: Callable[[int, Flit], None],
     ) -> int:
         """One separable switch-allocation round.
 
-        ``is_available(router_id)`` reflects neighbors' PG signals;
-        ``depart`` receives every granted flit; ``note_blocked`` is
-        called once per (stalled VC, cycle) with the blocking neighbor.
-        Returns the number of flits granted.
+        ``available_by(router_id, arrival_cycle)`` reflects neighbors'
+        PG signals at the cycle a granted flit would land; ``depart``
+        receives every granted flit; ``note_blocked`` is called once
+        per (stalled VC, cycle) with the blocking neighbor.  Returns
+        the number of flits granted.
         """
         if not self._occupied:
             return 0
-        # Stage 1: each input port nominates one SA-ready VC.
-        by_port: Dict[Direction, List[VirtualChannel]] = {}
+        # Stage 1: each input port nominates one SA-ready VC.  The scan
+        # doubles as the recomputation of ``_sa_wake_at``: a VC whose
+        # pipeline stages are not yet complete contributes its known
+        # eligibility cycle; a VC stalled on a neighbor's PG signal or
+        # an exhausted credit must be re-examined every cycle (the
+        # per-cycle ``note_blocked`` report is part of the Fig. 9/10
+        # accounting contract).
+        next_sa = _NEVER
+        stage_gate = self.config.router_stages - 2
+        active = VCState.ACTIVE
+        local = Direction.LOCAL
+        connected = self.connected
+        output_ports = self.output_ports
+        ready_vcs: List[VirtualChannel] = []
         for vc in self._occupied:
-            if self._sa_ready(vc, cycle, is_available, note_blocked):
-                by_port.setdefault(vc.port_direction, []).append(vc)
-        if not by_port:
+            if vc.state is not active:
+                continue
+            gate = vc.arrivals[0] + stage_gate
+            if vc.sa_eligible_at > gate:
+                gate = vc.sa_eligible_at
+            if cycle < gate:
+                if gate < next_sa:
+                    next_sa = gate
+                continue
+            route = vc.route
+            if route == local:
+                ready_vcs.append(vc)
+                continue
+            neighbor = connected[route]
+            if neighbor is None:
+                raise TopologyError(
+                    "route points off the mesh edge",
+                    cycle=cycle, router=self.router_id,
+                    port=route, vc=vc.vc_index,
+                )
+            if not available_by(neighbor, arrival_cycle):
+                note_blocked(neighbor, vc.front)
+                next_sa = cycle + 1
+                continue
+            if output_ports[route].credits[vc.out_vc] > 0:
+                ready_vcs.append(vc)
+            else:
+                next_sa = cycle + 1
+        if not ready_vcs:
+            self._sa_wake_at = next_sa
             return 0
+        if len(ready_vcs) == 1:
+            # Single contender: both round-robin stages degenerate to
+            # "advance the pointer and grant" — same pointer movement as
+            # the general path below with one-element candidate lists.
+            winner = ready_vcs[0]
+            in_dir = winner.port_direction
+            self.input_ports[in_dir].sa_rr_pointer += 1
+            out_dir = winner.route
+            self._sa_out_rr[out_dir] += 1
+            flit, out_vc = self._commit_departure(winner, out_dir, cycle)
+            depart(flit, in_dir, winner.vc_index, out_dir, out_vc)
+            self._sa_wake_at = cycle + 1
+            return 1
 
+        by_port: Dict[Direction, List[VirtualChannel]] = {}
+        for vc in ready_vcs:
+            by_port.setdefault(vc.port_direction, []).append(vc)
         nominations: Dict[Direction, List[VirtualChannel]] = {}
         for direction, ready in by_port.items():
             port = self.input_ports[direction]
@@ -188,41 +303,25 @@ class Router:
             flit, out_vc = self._commit_departure(winner, out_dir, cycle)
             depart(flit, in_dir, in_vc, out_dir, out_vc)
             granted += 1
+        # Grants advanced buffer fronts (and ready VCs may have lost
+        # arbitration): the allocator has work again next cycle.
+        self._sa_wake_at = cycle + 1
         return granted
-
-    def _sa_ready(
-        self,
-        vc: VirtualChannel,
-        cycle: int,
-        is_available: Callable[[int], bool],
-        note_blocked: Callable[[int, Flit], None],
-    ) -> bool:
-        """Whether the front flit of ``vc`` can traverse the switch now."""
-        if vc.state is not VCState.ACTIVE:
-            return False
-        if cycle < vc.sa_eligible_at:
-            return False
-        if cycle < vc.front_arrival() + self.config.router_stages - 2:
-            return False
-        if vc.route == Direction.LOCAL:
-            return True
-        neighbor = self.connected[vc.route]
-        if neighbor is None:
-            raise TopologyError(
-                "route points off the mesh edge",
-                cycle=cycle, router=self.router_id,
-                port=vc.route, vc=vc.vc_index,
-            )
-        if not is_available(neighbor):
-            note_blocked(neighbor, vc.front)
-            return False
-        return self.output_ports[vc.route].credits[vc.out_vc] > 0
 
     def _commit_departure(
         self, vc: VirtualChannel, out_dir: Direction, cycle: int
     ) -> Tuple[Flit, int]:
         """Pop the granted flit; update VC, credit and ownership state."""
-        flit = vc.pop()
+        # ``vc.pop`` inlined — this runs once per granted flit.
+        vc.arrivals.popleft()
+        flits = vc.flits
+        flit = flits.popleft()
+        if flit.is_head:
+            # Only a departing head changes the set of front head flits
+            # (:meth:`head_flit_requirements`): a body/tail pop leaves a
+            # non-head front behind, and the head of a follow-on packet
+            # is republished by ``_activate_front`` below.
+            self.head_version += 1
         out_port = self.output_ports[out_dir]
         out_vc = vc.out_vc
         if out_dir != Direction.LOCAL:
@@ -231,9 +330,9 @@ class Router:
             out_port.owner[out_vc] = None
             vc.reset_for_next_packet()
             # The head of the next packet may already be buffered.
-            if not vc.is_empty:
+            if flits:
                 self._activate_front(vc, cycle)
-        if vc.is_empty:
+        if not flits:
             self._occupied.pop(vc, None)
         return flit, out_vc
 

@@ -10,8 +10,9 @@ feeding the energy model (Fig. 11).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
+from .errors import SimulationError
 from .packet import Packet
 
 
@@ -45,7 +46,14 @@ class NetworkStats:
         """Account a delivered packet (ignored if created during warmup)."""
         if packet.created_at < self.measure_from:
             return
-        assert packet.network_latency is not None
+        if packet.network_latency is None:
+            raise SimulationError(
+                "delivery recorded for a packet without a complete "
+                f"injection/delivery timestamp pair (injected_at="
+                f"{packet.injected_at}, delivered_at={packet.delivered_at}, "
+                f"{packet.source}->{packet.destination})",
+                packet=packet.packet_id,
+            )
         self.delivered += 1
         self.delivered_flits += packet.size_flits
         self.total_network_latency += packet.network_latency
@@ -62,6 +70,24 @@ class NetworkStats:
             return
         self.injected_packets += 1
         self.injected_flits += packet.size_flits
+
+    def as_dict(self) -> Dict[str, int]:
+        """Every integer counter, for cycle-exact golden comparisons."""
+        return {
+            "measure_from": self.measure_from,
+            "delivered": self.delivered,
+            "total_network_latency": self.total_network_latency,
+            "total_latency": self.total_latency,
+            "total_hops": self.total_hops,
+            "total_blocked_routers": self.total_blocked_routers,
+            "total_wakeup_wait_cycles": self.total_wakeup_wait_cycles,
+            "delivered_flits": self.delivered_flits,
+            "injected_flits": self.injected_flits,
+            "injected_packets": self.injected_packets,
+            "router_traversals": self.router_traversals,
+            "link_traversals": self.link_traversals,
+            "cycles": self.cycles,
+        }
 
     # ------------------------------------------------------------------
     @property

@@ -118,7 +118,7 @@ class PacketTracer:
         # Wrap every router's switch allocation via the kernel hook.
         original_run_sa = network._run_switch_allocation
 
-        def run_sa(router, cycle, is_available):
+        def run_sa(router, cycle, available_by, arrival_cycle):
             def depart_hook(flit, in_dir, in_vc, out_dir, out_vc):
                 if flit.is_head:
                     self._record(
@@ -134,7 +134,7 @@ class PacketTracer:
             # intercept with a shim around do_switch_allocation.
             original_do_sa = router.do_switch_allocation
 
-            def shim(c, avail, depart, note_blocked):
+            def shim(c, avail, arrival, depart, note_blocked):
                 def depart_traced(flit, in_dir, in_vc, out_dir, out_vc):
                     depart_hook(flit, in_dir, in_vc, out_dir, out_vc)
                     depart(flit, in_dir, in_vc, out_dir, out_vc)
@@ -145,11 +145,11 @@ class PacketTracer:
                     )
                     note_blocked(neighbor, flit)
 
-                return original_do_sa(c, avail, depart_traced, blocked_traced)
+                return original_do_sa(c, avail, arrival, depart_traced, blocked_traced)
 
             router.do_switch_allocation = shim
             try:
-                original_run_sa(router, cycle, is_available)
+                original_run_sa(router, cycle, available_by, arrival_cycle)
             finally:
                 router.do_switch_allocation = original_do_sa
 

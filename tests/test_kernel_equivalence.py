@@ -1,0 +1,131 @@
+"""Cycle-exactness of the active-set kernel.
+
+The active-set kernel (``NoCConfig.kernel == "active"``) must be an
+observationally identical replica of the naive full-scan kernel
+(``kernel == "naive"``, the seed implementation): same stats counter by
+counter, same controller accounting, same per-packet timing — for every
+scheme, under synthetic and full-system PARSEC traffic.
+
+Two layers of evidence:
+
+* golden equivalence — full :meth:`NetworkStats.as_dict` dumps compared
+  between kernels for all four schemes (plus the NoRD-like baseline)
+  across two seeds, and a PARSEC ``Chip`` run compared end to end;
+* a hypothesis property — at every cycle the kernel's work-sets contain
+  every component the naive scan would visit (routers with occupied
+  VCs, NIs with work, non-OFF controllers).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import NoRDLike
+from repro.core import ConvOptPG, NoPG, PowerPunchPG, PowerPunchSignal
+from repro.noc import Network, NoCConfig
+from repro.noc.invariants import InvariantChecker
+from repro.powergate.controller import PGState
+from repro.system import Chip, get_profile
+from repro.traffic import SyntheticTraffic, measure
+
+SCHEMES = {
+    "NoPG": NoPG,
+    "ConvOptPG": ConvOptPG,
+    "PowerPunchSignal": PowerPunchSignal,
+    "PowerPunchPG": PowerPunchPG,
+    "NoRDLike": NoRDLike,
+}
+
+
+def _run_synthetic(scheme_name, kernel, seed, rate=0.02):
+    net = Network(NoCConfig(kernel=kernel), SCHEMES[scheme_name]())
+    traffic = SyntheticTraffic(net, "uniform_random", rate, seed=seed)
+    measure(net, traffic, warmup=200, measurement=800)
+    dump = dict(net.stats.as_dict())
+    policy = net.policy
+    if hasattr(policy, "controllers") and policy.controllers:
+        dump["total_off_cycles"] = policy.total_off_cycles()
+        dump["total_wake_events"] = policy.total_wake_events()
+        dump["currently_off"] = policy.currently_off()
+        dump["sleep_events"] = sum(c.sleep_events for c in policy.controllers)
+        dump["cancelled_sleeps"] = sum(
+            c.cancelled_sleeps for c in policy.controllers
+        )
+        dump["active_cycles"] = sum(c.active_cycles for c in policy.controllers)
+        dump["waking_cycles"] = sum(c.waking_cycles for c in policy.controllers)
+    return dump
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+    @pytest.mark.parametrize("seed", [7, 23])
+    def test_synthetic_uniform_random(self, scheme_name, seed):
+        active = _run_synthetic(scheme_name, "active", seed)
+        naive = _run_synthetic(scheme_name, "naive", seed)
+        assert active == naive
+
+    def test_parsec_chip(self):
+        results = []
+        for kernel in ("active", "naive"):
+            chip = Chip(
+                NoCConfig(width=4, height=4, kernel=kernel),
+                PowerPunchPG(),
+                get_profile("bodytrack"),
+                instructions_per_core=400,
+                seed=3,
+                benchmark="bodytrack",
+            )
+            result = chip.run(max_cycles=500_000)
+            results.append(
+                (
+                    result.execution_time,
+                    result.packets,
+                    chip.network.stats.as_dict(),
+                    chip.network.policy.total_off_cycles(),
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_strict_invariants_clean_on_active_kernel(self):
+        net = Network(NoCConfig(kernel="active"), PowerPunchPG())
+        net.install_invariants(InvariantChecker(strict=True))
+        traffic = SyntheticTraffic(net, "uniform_random", 0.02, seed=11)
+        traffic.run(600)
+        traffic.drain()
+        assert net.invariants.checks_run > 0
+        assert not net.invariants.violations
+
+
+class TestActiveSetCoverageProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.005, max_value=0.08),
+        scheme_name=st.sampled_from(sorted(SCHEMES)),
+    )
+    def test_work_sets_cover_naive_scan(self, seed, rate, scheme_name):
+        net = Network(
+            NoCConfig(width=4, height=4, kernel="active"), SCHEMES[scheme_name]()
+        )
+        traffic = SyntheticTraffic(net, "uniform_random", rate, seed=seed)
+        policy = net.policy
+        scheme_like = getattr(policy, "_active", False)
+        for _ in range(150):
+            traffic.step()
+            net.step()
+            for router in net.routers:
+                if router._occupied:
+                    assert router.router_id in net.active_routers
+            for ni in net.interfaces:
+                if ni.has_work():
+                    assert ni.node in net.active_nis
+            if scheme_like:
+                for controller in policy.controllers:
+                    if controller.state is not PGState.OFF:
+                        # Non-OFF controllers are either stepped every
+                        # cycle (armed) or parked in the quiescent-skip
+                        # state with a scheduled sleep deadline.
+                        assert (
+                            controller.router_id in policy._armed
+                            or controller._quiescent_since is not None
+                        )
