@@ -215,6 +215,39 @@ def bench_config(
     }
 
 
+def bench_campaign(
+    schemes: List[str],
+    meshes: List[Tuple[int, int]],
+    rates: List[float],
+    cycles: int,
+    repeat: int,
+):
+    """Declare the benchmark matrix as campaign cells.
+
+    Bench cells are never cached — their payloads are wall-clock
+    timings, which are not a function of the spec — so the campaign
+    runs with ``cache_dir=None`` always; the engine contributes
+    fan-out, retries and the shared progress-log format.
+    """
+    from .campaign import Campaign, CellSpec
+
+    cells = tuple(
+        CellSpec(
+            kind="bench",
+            workload=f"{width}x{height}",
+            scheme=scheme_name,
+            config=NoCConfig(width=width, height=height).to_items(),
+            seed=7,
+            injection_rate=rate,
+            extras=(("cycles", cycles), ("repeat", repeat)),
+        )
+        for width, height in meshes
+        for rate in rates
+        for scheme_name in schemes
+    )
+    return Campaign(name="bench-kernel", cells=cells)
+
+
 def run_matrix(
     schemes: List[str],
     meshes: List[Tuple[int, int]],
@@ -222,22 +255,27 @@ def run_matrix(
     cycles: int,
     repeat: int,
     verbose: bool = True,
+    workers: int = 1,
 ) -> Dict[str, object]:
-    """Run the full benchmark matrix; return the bench_kernel/v1 doc."""
-    results = []
-    for width, height in meshes:
-        for rate in rates:
-            for scheme_name in schemes:
-                cell = bench_config(scheme_name, width, height, rate, cycles, repeat)
-                results.append(cell)
-                if verbose:
-                    print(
-                        f"{scheme_name:>17} {width}x{height} rate={rate:<5} "
-                        f"active={cell['active_cps']:>9} c/s  "
-                        f"naive={cell['naive_cps']:>9} c/s  "
-                        f"speedup={cell['speedup']}x",
-                        file=sys.stderr,
-                    )
+    """Run the full benchmark matrix; return the bench_kernel/v1 doc.
+
+    ``workers > 1`` fans cells out over a process pool; expect extra
+    timing noise from co-scheduled workers (cycles/sec drops while the
+    active/naive *ratio* within a cell stays comparable, since both
+    kernels of a cell time on the same worker).
+    """
+    campaign = bench_campaign(schemes, meshes, rates, cycles, repeat)
+    results = campaign.run(workers=workers)
+    if verbose:
+        for cell in results:
+            print(
+                f"{cell['scheme']:>17} {cell['width']}x{cell['height']} "
+                f"rate={cell['injection_rate']:<5} "
+                f"active={cell['active_cps']:>9} c/s  "
+                f"naive={cell['naive_cps']:>9} c/s  "
+                f"speedup={cell['speedup']}x",
+                file=sys.stderr,
+            )
     return {
         "schema": "bench_kernel/v1",
         "cycles": cycles,
@@ -303,6 +341,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="injection rates (flits/node/cycle)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool fan-out over bench cells (adds timing noise; "
+        "keep 1 for trend comparisons)",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="small matrix for CI trend runs (8x8, rate 0.02, 1 repetition)",
@@ -326,7 +371,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         width, _, height = spec.partition("x")
         meshes.append((int(width), int(height)))
 
-    doc = run_matrix(args.schemes, meshes, args.rates, args.cycles, args.repeat)
+    doc = run_matrix(
+        args.schemes,
+        meshes,
+        args.rates,
+        args.cycles,
+        args.repeat,
+        workers=args.workers,
+    )
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")

@@ -1,0 +1,35 @@
+"""Declarative campaign engine for the experiments layer.
+
+Experiments declare frozen :class:`CellSpec` cells — one simulation
+each — and run them through :func:`execute_cells` / :class:`Campaign`:
+a process-pool executor with a content-addressed on-disk cache
+(:class:`CellCache`), per-cell retries on the typed
+``SimulationError`` hierarchy, and a structured JSONL progress log.
+See ``docs/campaigns.md``.
+"""
+
+from .cache import CellCache, code_salt, decode_payload, encode_payload
+from .cli import add_campaign_args, campaign_argparser, engine_options
+from .engine import Campaign, CampaignError, CampaignStats, execute_cells
+from .runner import build_scheme, run_cell, run_parsec, run_synthetic
+from .spec import CellSpec, freeze_items
+
+__all__ = [
+    "Campaign",
+    "CampaignError",
+    "CampaignStats",
+    "CellCache",
+    "CellSpec",
+    "add_campaign_args",
+    "build_scheme",
+    "campaign_argparser",
+    "code_salt",
+    "decode_payload",
+    "encode_payload",
+    "engine_options",
+    "execute_cells",
+    "freeze_items",
+    "run_cell",
+    "run_parsec",
+    "run_synthetic",
+]

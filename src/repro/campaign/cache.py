@@ -1,0 +1,140 @@
+"""Content-addressed on-disk cell cache.
+
+Every cached entry is addressed by ``sha256(code_salt + canonical
+spec JSON)``: the same cell re-run against unchanged simulator source
+is a hit, while *any* edit to the simulation-relevant source trees
+changes the salt and silently invalidates every affected entry (stale
+files are simply never addressed again).  Interrupted campaigns
+therefore resume for free — completed cells hit, missing cells run.
+
+What the salt covers is deliberately scoped to code that can change
+simulation *results*: ``repro.noc``, ``repro.core``, ``repro.system``,
+``repro.traffic``, ``repro.power``, ``repro.powergate``,
+``repro.baselines`` and the cell runner itself.  Editing report
+formatting, CLI plumbing or the engine does not invalidate results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict
+from functools import lru_cache
+from pathlib import Path
+from typing import Optional, Union
+
+from ..experiments.common import RunRecord
+from .spec import CellSpec
+
+#: Source trees whose content feeds the code-version salt.
+SALT_PACKAGES = (
+    "noc",
+    "core",
+    "system",
+    "traffic",
+    "power",
+    "powergate",
+    "baselines",
+)
+
+
+@lru_cache(maxsize=1)
+def code_salt() -> str:
+    """Version hash of the simulation-relevant source trees."""
+    import repro
+
+    root = Path(repro.__file__).parent
+    digest = hashlib.sha256()
+    files = []
+    for package in SALT_PACKAGES:
+        files.extend(sorted((root / package).glob("*.py")))
+    files.append(root / "campaign" / "runner.py")
+    for path in files:
+        digest.update(path.name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+    return digest.hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Payload (de)serialization
+# ----------------------------------------------------------------------
+Payload = Union[RunRecord, dict]
+
+
+def encode_payload(payload: Payload) -> dict:
+    """JSON-ready wrapper tagging the payload type."""
+    if isinstance(payload, RunRecord):
+        return {"type": "run_record", "data": asdict(payload)}
+    if isinstance(payload, dict):
+        return {"type": "mapping", "data": payload}
+    raise TypeError(f"uncacheable cell payload type {type(payload).__name__}")
+
+
+def decode_payload(doc: dict) -> Payload:
+    """Inverse of :func:`encode_payload`."""
+    if doc["type"] == "run_record":
+        return RunRecord(**doc["data"])
+    return doc["data"]
+
+
+class CellCache:
+    """Directory of content-addressed cell results.
+
+    Entries live at ``<root>/<key[:2]>/<key>.json`` and carry the
+    canonical spec and salt alongside the payload for debuggability;
+    the key alone decides hits.  Writes are atomic (temp file +
+    ``os.replace``) so parallel workers and interrupted runs can never
+    leave a truncated entry behind.
+    """
+
+    def __init__(self, root: Union[str, Path], salt: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.salt = code_salt() if salt is None else salt
+
+    def key_for(self, spec: CellSpec) -> str:
+        """The content address of ``spec`` under this cache's salt."""
+        return spec.cache_key(self.salt)
+
+    def path_for(self, spec: CellSpec) -> Path:
+        key = self.key_for(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: CellSpec) -> Optional[Payload]:
+        """The cached payload for ``spec``, or ``None`` on a miss.
+
+        Corrupt entries count as misses (and are overwritten by the
+        next :meth:`put`), so a damaged cache degrades to recompute
+        instead of crashing the campaign.
+        """
+        path = self.path_for(spec)
+        try:
+            with open(path) as fh:
+                doc = json.load(fh)
+            return decode_payload(doc["payload"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, spec: CellSpec, payload: Payload) -> Path:
+        """Store ``payload`` for ``spec``; returns the entry path."""
+        path = self.path_for(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        doc = {
+            "salt": self.salt,
+            "spec": spec.canonical(),
+            "payload": encode_payload(payload),
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh, indent=1)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path

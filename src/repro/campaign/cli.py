@@ -1,0 +1,75 @@
+"""Shared campaign argparse flags.
+
+Every experiment CLI builds its parser here, so an engine flag added
+once (``--workers``, ``--cache-dir``, ``--resume``) lands in every
+figure script at the same time instead of being re-declared per file.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from ..experiments.common import CANONICAL_INSTRUCTIONS
+
+
+def add_campaign_args(
+    parser: argparse.ArgumentParser,
+    *,
+    suite_cache: bool = False,
+    instructions: bool = False,
+) -> argparse.ArgumentParser:
+    """Attach the shared engine flags to an existing parser."""
+    group = parser.add_argument_group("campaign engine")
+    group.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="process-pool fan-out (cells are independent and seeded)",
+    )
+    group.add_argument(
+        "--cache-dir",
+        default=None,
+        help="content-addressed cell cache directory (enables caching, "
+        "resume, and the JSONL progress log)",
+    )
+    group.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached cells (--no-resume recomputes and overwrites)",
+    )
+    if suite_cache:
+        group.add_argument(
+            "--cache",
+            default=None,
+            help="whole-suite records JSON produced by parsec-suite --out",
+        )
+    if instructions:
+        group.add_argument(
+            "--instructions", type=int, default=CANONICAL_INSTRUCTIONS
+        )
+    return parser
+
+
+def campaign_argparser(
+    description: Optional[str] = None,
+    *,
+    suite_cache: bool = False,
+    instructions: bool = False,
+    prog: Optional[str] = None,
+) -> argparse.ArgumentParser:
+    """A fresh parser pre-loaded with the shared engine flags."""
+    parser = argparse.ArgumentParser(prog=prog, description=description)
+    return add_campaign_args(
+        parser, suite_cache=suite_cache, instructions=instructions
+    )
+
+
+def engine_options(args: argparse.Namespace) -> dict:
+    """Extract engine kwargs from a parsed namespace."""
+    return {
+        "workers": args.workers,
+        "cache_dir": args.cache_dir,
+        "resume": args.resume,
+    }

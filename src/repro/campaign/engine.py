@@ -1,0 +1,290 @@
+"""Campaign execution: cache lookup, process-pool fan-out, retries.
+
+``execute_cells`` is the one code path every experiment goes through:
+
+1. each cell is looked up in the content-addressed cache (hits skip
+   simulation entirely, which is also what makes interrupted
+   campaigns resumable);
+2. misses run — inline for ``workers=1``, else on a
+   ``ProcessPoolExecutor`` (cells are independent and deterministic,
+   with seeds carried *inside* the spec, so fan-out cannot change
+   results, only wall-clock);
+3. a failed cell is retried (``SimulationError`` and its subclasses
+   only — the PR 1 typed hierarchy — so genuine bugs like ``KeyError``
+   still crash immediately);
+4. every step appends a structured event to a JSONL progress log.
+
+Results always come back in declared cell order regardless of
+completion order.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from time import perf_counter
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..noc.errors import SimulationError
+from .cache import CellCache, Payload
+from .runner import run_cell
+from .spec import CellSpec
+
+
+class CampaignError(RuntimeError):
+    """A cell exhausted its retries; carries the spec and the cause."""
+
+    def __init__(self, spec: CellSpec, cause: BaseException, attempts: int) -> None:
+        self.spec = spec
+        self.cause = cause
+        self.attempts = attempts
+        super().__init__(
+            f"cell {spec.label} failed after {attempts} attempt(s): {cause}"
+        )
+
+
+@dataclass
+class CampaignStats:
+    """Outcome counters of one ``execute_cells`` call."""
+
+    total: int = 0
+    hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    elapsed: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "total": self.total,
+            "hits": self.hits,
+            "executed": self.executed,
+            "retried": self.retried,
+            "elapsed": round(self.elapsed, 3),
+        }
+
+
+class _EventLog:
+    """Append-only JSONL event sink (no-op without a path)."""
+
+    def __init__(self, path: Optional[Union[str, Path]]) -> None:
+        self._fh = None
+        if path is not None:
+            path = Path(path)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(path, "a")
+
+    def emit(self, event: dict) -> None:
+        if self._fh is None:
+            return
+        event = {"ts": round(time.time(), 3), **event}
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _cell_event(status: str, spec: CellSpec, **extra) -> dict:
+    event = {
+        "event": "cell",
+        "status": status,
+        "kind": spec.kind,
+        "label": spec.label,
+        "workload": spec.workload,
+        "scheme": spec.scheme,
+        "seed": spec.seed,
+    }
+    event.update(extra)
+    return event
+
+
+def _attempt_cell(spec: CellSpec, retries: int) -> Tuple[Payload, int]:
+    """Run one cell with retry-on-``SimulationError``; top-level so it
+    pickles onto pool workers.  Returns ``(payload, attempts)``."""
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return run_cell(spec), attempts
+        except SimulationError:
+            if attempts > retries:
+                raise
+
+
+def _attempts_made(exc: BaseException, retries: int) -> int:
+    """Attempts a failed cell consumed: only ``SimulationError`` is
+    retried, so anything else failed on the first try."""
+    return retries + 1 if isinstance(exc, SimulationError) else 1
+
+
+def execute_cells(
+    cells: Sequence[CellSpec],
+    *,
+    workers: int = 1,
+    cache: Optional[CellCache] = None,
+    resume: bool = True,
+    retries: int = 1,
+    log_path: Optional[Union[str, Path]] = None,
+    name: str = "campaign",
+    on_result: Optional[Callable[[int, CellSpec, Payload, bool], None]] = None,
+) -> Tuple[List[Payload], CampaignStats]:
+    """Execute cells; return ``(payloads_in_declared_order, stats)``.
+
+    ``resume=False`` ignores cached entries (they are recomputed and
+    overwritten) while still writing fresh results.  ``on_result`` is
+    called as ``(index, spec, payload, was_hit)`` in completion order
+    — hits first, then runs as they finish.
+    """
+    cells = list(cells)
+    stats = CampaignStats(total=len(cells))
+    log = _EventLog(log_path)
+    log.emit(
+        {
+            "event": "campaign-start",
+            "name": name,
+            "cells": len(cells),
+            "workers": workers,
+            "resume": resume,
+            "salt": cache.salt if cache else None,
+        }
+    )
+    start = perf_counter()
+    results: List[Optional[Payload]] = [None] * len(cells)
+    done = [False] * len(cells)
+    pending: List[int] = []
+    try:
+        for index, spec in enumerate(cells):
+            payload = cache.get(spec) if (cache is not None and resume) else None
+            if payload is not None:
+                results[index] = payload
+                done[index] = True
+                stats.hits += 1
+                log.emit(_cell_event("hit", spec, key=cache.key_for(spec)))
+                if on_result is not None:
+                    on_result(index, spec, payload, True)
+            else:
+                pending.append(index)
+
+        def _complete(index: int, payload: Payload, attempts: int, secs: float):
+            results[index] = payload
+            done[index] = True
+            stats.executed += 1
+            stats.retried += attempts - 1
+            spec = cells[index]
+            if cache is not None:
+                cache.put(spec, payload)
+            log.emit(
+                _cell_event(
+                    "done",
+                    spec,
+                    attempts=attempts,
+                    elapsed=round(secs, 3),
+                    key=cache.key_for(spec) if cache else None,
+                )
+            )
+            if on_result is not None:
+                on_result(index, spec, payload, False)
+
+        if workers > 1 and len(pending) > 1:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(_attempt_cell, cells[index], retries): (
+                        index,
+                        perf_counter(),
+                    )
+                    for index in pending
+                }
+                outstanding = set(futures)
+                while outstanding:
+                    finished, outstanding = wait(
+                        outstanding, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        index, t0 = futures[future]
+                        try:
+                            payload, attempts = future.result()
+                        except Exception as exc:
+                            for other in outstanding:
+                                other.cancel()
+                            log.emit(
+                                _cell_event(
+                                    "failed", cells[index], error=str(exc)
+                                )
+                            )
+                            raise CampaignError(
+                                cells[index], exc, _attempts_made(exc, retries)
+                            ) from exc
+                        _complete(index, payload, attempts, perf_counter() - t0)
+        else:
+            for index in pending:
+                t0 = perf_counter()
+                try:
+                    payload, attempts = _attempt_cell(cells[index], retries)
+                except Exception as exc:
+                    log.emit(_cell_event("failed", cells[index], error=str(exc)))
+                    raise CampaignError(
+                        cells[index], exc, _attempts_made(exc, retries)
+                    ) from exc
+                _complete(index, payload, attempts, perf_counter() - t0)
+
+        stats.elapsed = perf_counter() - start
+        log.emit({"event": "campaign-end", "name": name, **stats.as_dict()})
+        assert all(done)
+        return list(results), stats
+    finally:
+        log.close()
+
+
+@dataclass
+class Campaign:
+    """A named iterable of cells plus an optional reducer.
+
+    ``run()`` executes the cells through :func:`execute_cells` and
+    returns ``reducer(payloads)`` (or the raw payload list).  The
+    stats of the latest run are kept on ``last_stats`` so callers —
+    and the CI cache-hit smoke check — can assert hit/run counts.
+    """
+
+    name: str
+    cells: Tuple[CellSpec, ...]
+    reducer: Optional[Callable[[List[Payload]], object]] = None
+    last_stats: Optional[CampaignStats] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        self.cells = tuple(self.cells)
+
+    def run(
+        self,
+        *,
+        workers: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        resume: bool = True,
+        retries: int = 1,
+        log_path: Optional[Union[str, Path]] = None,
+        on_result: Optional[Callable] = None,
+    ):
+        cache = None
+        if cache_dir is not None:
+            cache = CellCache(cache_dir)
+            if log_path is None:
+                safe = "".join(
+                    c if c.isalnum() or c in "-_" else "-" for c in self.name
+                )
+                log_path = Path(cache_dir) / f"{safe}.events.jsonl"
+        payloads, stats = execute_cells(
+            self.cells,
+            workers=workers,
+            cache=cache,
+            resume=resume,
+            retries=retries,
+            log_path=log_path,
+            name=self.name,
+            on_result=on_result,
+        )
+        self.last_stats = stats
+        return self.reducer(payloads) if self.reducer is not None else payloads

@@ -1,0 +1,253 @@
+"""Cell runners: one deterministic simulation (or analysis) per spec.
+
+``run_cell`` is the single entry point the engine executes — inline or
+on process-pool workers — so it and everything it dispatches to must
+stay importable at module top level (picklability) and must derive all
+behavior from the spec alone (determinism).  The former
+``common.run_parsec``/``common.run_synthetic`` loops live here now.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..experiments.common import (
+    CANONICAL_INSTRUCTIONS,
+    RunRecord,
+    make_scheme,
+)
+from ..noc import Network, NoCConfig
+from ..power import EnergyModel
+from ..system import Chip, get_profile
+from ..traffic import SyntheticTraffic
+from .spec import CellSpec
+
+
+def build_scheme(spec: CellSpec):
+    """Instantiate the spec's scheme and apply attribute overrides."""
+    scheme = make_scheme(spec.scheme, **dict(spec.scheme_kwargs))
+    for attr, value in spec.scheme_attrs:
+        if not hasattr(scheme, attr):
+            raise TypeError(
+                f"scheme {spec.scheme!r} has no attribute {attr!r} "
+                "(typo in a cell's scheme_attrs?)"
+            )
+        setattr(scheme, attr, value)
+    return scheme
+
+
+# ----------------------------------------------------------------------
+# Direct runners (also the public imperative API)
+# ----------------------------------------------------------------------
+def run_parsec(
+    benchmark: str,
+    scheme_name: str,
+    instructions: int = CANONICAL_INSTRUCTIONS,
+    seed: int = 1,
+    config: Optional[NoCConfig] = None,
+    **scheme_kwargs,
+) -> RunRecord:
+    """Run one PARSEC-profile workload under one scheme."""
+    config = config or NoCConfig()
+    scheme = make_scheme(scheme_name, **scheme_kwargs)
+    chip = Chip(
+        config,
+        scheme,
+        get_profile(benchmark),
+        instructions_per_core=instructions,
+        seed=seed,
+        benchmark=benchmark,
+    )
+    result = chip.run(max_cycles=8_000_000)
+    energy = EnergyModel().account(chip.network)
+    return RunRecord(
+        workload=benchmark,
+        scheme=scheme_name,
+        execution_time=result.execution_time,
+        avg_packet_latency=result.avg_packet_latency,
+        avg_total_latency=result.avg_total_latency,
+        avg_blocked_routers=result.avg_blocked_routers,
+        avg_wakeup_wait=result.avg_wakeup_wait,
+        injection_rate=result.injection_rate,
+        dynamic_energy=energy.dynamic,
+        static_energy=energy.static,
+        overhead_energy=energy.overhead,
+        cycles=result.cycles,
+    )
+
+
+def run_synthetic(
+    pattern: str,
+    injection_rate: float,
+    scheme_name: str,
+    warmup: int = 1000,
+    measurement: int = 6000,
+    seed: int = 7,
+    config: Optional[NoCConfig] = None,
+    drain: bool = True,
+    **scheme_kwargs,
+) -> RunRecord:
+    """Run one open-loop synthetic-traffic point under one scheme."""
+    config = config or NoCConfig()
+    scheme = make_scheme(scheme_name, **scheme_kwargs)
+    network = Network(config, scheme)
+    traffic = SyntheticTraffic(network, pattern, injection_rate, seed=seed)
+    energy_model = EnergyModel()
+    traffic.run(warmup)
+    snapshot = energy_model.snapshot(network)
+    network.stats.measure_from = network.cycle
+    traffic.run(measurement)
+    energy = energy_model.account(network, since=snapshot)
+    if drain:
+        traffic.drain()
+    stats = network.stats
+    return RunRecord(
+        workload=f"{pattern}@{injection_rate}",
+        scheme=scheme_name,
+        execution_time=network.cycle,
+        avg_packet_latency=stats.avg_packet_latency,
+        avg_total_latency=stats.avg_total_latency,
+        avg_blocked_routers=stats.avg_blocked_routers,
+        avg_wakeup_wait=stats.avg_wakeup_wait,
+        injection_rate=stats.throughput(config.num_nodes),
+        dynamic_energy=energy.dynamic,
+        static_energy=energy.static,
+        overhead_energy=energy.overhead,
+        cycles=energy.cycles,
+    )
+
+
+# ----------------------------------------------------------------------
+# Cell-kind dispatch
+# ----------------------------------------------------------------------
+def _run_parsec_cell(spec: CellSpec) -> RunRecord:
+    record = run_parsec(
+        spec.workload,
+        spec.scheme,
+        instructions=spec.instructions,
+        seed=spec.seed,
+        config=spec.build_config(),
+        **dict(spec.scheme_kwargs),
+    )
+    if spec.scheme_attrs:
+        raise TypeError("parsec cells do not support scheme_attrs")
+    return record
+
+
+def _run_synthetic_cell(spec: CellSpec) -> RunRecord:
+    if spec.scheme_attrs:
+        raise TypeError("RunRecord synthetic cells do not support scheme_attrs")
+    return run_synthetic(
+        spec.workload,
+        spec.injection_rate,
+        spec.scheme,
+        warmup=spec.warmup,
+        measurement=spec.measurement,
+        seed=spec.seed,
+        config=spec.build_config(),
+        drain=spec.drain,
+        **dict(spec.scheme_kwargs),
+    )
+
+
+def _run_metrics_cell(spec: CellSpec) -> dict:
+    """Extended metrics payload (ablations / baselines comparison)."""
+    config = spec.build_config()
+    scheme = build_scheme(spec)
+    network = Network(config, scheme)
+    traffic = SyntheticTraffic(
+        network, spec.workload, spec.injection_rate, seed=spec.seed
+    )
+    model = EnergyModel()
+    traffic.run(spec.warmup)
+    snap = model.snapshot(network)
+    network.stats.measure_from = network.cycle
+    traffic.run(spec.measurement)
+    energy = model.account(network, since=snap)
+    if spec.drain:
+        traffic.drain()
+    stats = network.stats
+    controllers = getattr(scheme, "controllers", None) or []
+    off = sum(c.off_cycles for c in controllers)
+    total = sum(
+        c.active_cycles + c.off_cycles + c.waking_cycles for c in controllers
+    )
+    return {
+        "latency": stats.avg_total_latency,
+        "wait": stats.avg_wakeup_wait,
+        "off_fraction": off / total if total else 0.0,
+        "wake_events": scheme.total_wake_events() if controllers else 0,
+        "net_static": energy.net_static,
+        "delivered": stats.delivered,
+        "detoured": getattr(scheme, "detoured_packets", 0),
+    }
+
+
+def _run_bet_cell(spec: CellSpec) -> dict:
+    """Energy re-accounting under a given break-even time.
+
+    BET only scales the per-event PG overhead, so the simulation is
+    identical across BET values — only the accounting differs (the
+    timing fields prove it: they match bit-for-bit between cells).
+    """
+    from ..power import PowerConstants
+
+    bet = dict(spec.extras)["bet"]
+    config = spec.build_config()
+    scheme = build_scheme(spec)
+    network = Network(config, scheme)
+    traffic = SyntheticTraffic(
+        network, spec.workload, spec.injection_rate, seed=spec.seed
+    )
+    traffic.run(spec.warmup + spec.measurement)
+    model = EnergyModel(PowerConstants(break_even_cycles=bet))
+    energy = model.account(network)
+    return {
+        "latency": network.stats.avg_total_latency,
+        "wait": network.stats.avg_wakeup_wait,
+        "off_fraction": 0.0,
+        "wake_events": scheme.total_wake_events(),
+        "net_static": energy.net_static,
+    }
+
+
+def _run_analysis_cell(spec: CellSpec) -> dict:
+    """Deterministic non-simulation analyses, dispatched by label."""
+    params = dict(spec.extras)
+    if spec.workload == "table1":
+        from ..experiments import table1
+
+        return {"report": table1.report(**params)}
+    raise ValueError(f"unknown analysis cell {spec.workload!r}")
+
+
+def _run_bench_cell(spec: CellSpec) -> dict:
+    """Kernel cycles/sec benchmark cell (timing — never cache this)."""
+    from ..bench import bench_config
+
+    params = dict(spec.extras)
+    config = spec.build_config()
+    return bench_config(
+        spec.scheme,
+        config.width,
+        config.height,
+        spec.injection_rate,
+        params["cycles"],
+        params["repeat"],
+        seed=spec.seed,
+    )
+
+
+_RUNNERS = {
+    "parsec": _run_parsec_cell,
+    "synthetic": _run_synthetic_cell,
+    "synthetic_metrics": _run_metrics_cell,
+    "bet_account": _run_bet_cell,
+    "analysis": _run_analysis_cell,
+    "bench": _run_bench_cell,
+}
+
+
+def run_cell(spec: CellSpec):
+    """Execute one cell and return its payload."""
+    return _RUNNERS[spec.kind](spec)

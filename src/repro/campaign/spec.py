@@ -1,0 +1,232 @@
+"""Declarative campaign cells.
+
+A :class:`CellSpec` is the unit of work of the experiments layer: one
+fully-described simulation (or analysis) whose result is a pure
+function of the spec and the simulator source.  Specs are frozen and
+hashable, serialize to canonical JSON, and therefore support
+content-addressed caching (see :mod:`repro.campaign.cache`) and
+process-pool execution (see :mod:`repro.campaign.engine`).
+
+Cell kinds and their payloads:
+
+``parsec``
+    Closed-loop CMP run of one PARSEC-profile benchmark under one
+    scheme → :class:`~repro.experiments.common.RunRecord`.
+``synthetic``
+    Open-loop synthetic-traffic point → ``RunRecord``.
+``synthetic_metrics``
+    Synthetic point returning the extended metrics dict used by the
+    ablations and the NoRD comparison (off-fraction, wake events,
+    detours, ...).
+``bet_account``
+    Synthetic run re-accounted under a given break-even time
+    (``extras: bet``) → metrics dict.
+``analysis``
+    Deterministic non-simulation analysis (Table 1 enumeration)
+    → ``{"report": str}``.
+``bench``
+    Kernel cycles/sec benchmark cell (never cached — wall-clock
+    timings are not content-addressable) → bench result dict.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, fields
+from typing import Mapping, Optional, Sequence, Tuple, Union
+
+from ..experiments.common import CANONICAL_INSTRUCTIONS
+from ..noc import NoCConfig
+
+#: Sorted, hashable ``(key, value)`` pairs — the wire form of every
+#: mapping-valued spec field.
+Items = Tuple[Tuple[str, object], ...]
+
+ItemsLike = Union[None, Items, Mapping[str, object], Sequence[Tuple[str, object]]]
+
+CELL_KINDS = (
+    "parsec",
+    "synthetic",
+    "synthetic_metrics",
+    "bet_account",
+    "analysis",
+    "bench",
+)
+
+
+def freeze_items(mapping: ItemsLike) -> Items:
+    """Normalize a mapping (or pair sequence) to sorted item tuples."""
+    if not mapping:
+        return ()
+    pairs = mapping.items() if isinstance(mapping, Mapping) else mapping
+    return tuple(sorted((str(k), v) for k, v in pairs))
+
+
+def _config_items(config: Optional[NoCConfig]) -> Items:
+    return () if config is None else config.to_items()
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One frozen, hashable unit of campaign work."""
+
+    kind: str
+    #: Benchmark name (parsec), traffic pattern (synthetic*), or an
+    #: analysis label.
+    workload: str
+    scheme: str = "-"
+    #: Constructor kwargs for the scheme, as sorted items.
+    scheme_kwargs: Items = ()
+    #: Post-construction attribute overrides (ablations toggle
+    #: ``slack2``/``use_forewarning`` this way), as sorted items.
+    scheme_attrs: Items = ()
+    #: Non-default :class:`NoCConfig` fields, as sorted items.
+    config: Items = ()
+    seed: int = 1
+    #: Per-core instruction budget (parsec cells only).
+    instructions: int = CANONICAL_INSTRUCTIONS
+    #: Synthetic-traffic parameters (ignored by parsec/analysis cells).
+    injection_rate: float = 0.0
+    warmup: int = 1000
+    measurement: int = 6000
+    drain: bool = False
+    #: Kind-specific extension point (e.g. ``bet`` for bet_account,
+    #: enumeration parameters for analysis cells), as sorted items.
+    extras: Items = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in CELL_KINDS:
+            raise ValueError(f"unknown cell kind {self.kind!r}; one of {CELL_KINDS}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def parsec(
+        cls,
+        benchmark: str,
+        scheme: str,
+        *,
+        instructions: int = CANONICAL_INSTRUCTIONS,
+        seed: int = 1,
+        config: Optional[NoCConfig] = None,
+        scheme_kwargs: ItemsLike = None,
+        scheme_attrs: ItemsLike = None,
+    ) -> "CellSpec":
+        """A closed-loop PARSEC-profile cell."""
+        return cls(
+            kind="parsec",
+            workload=benchmark,
+            scheme=scheme,
+            scheme_kwargs=freeze_items(scheme_kwargs),
+            scheme_attrs=freeze_items(scheme_attrs),
+            config=_config_items(config),
+            seed=seed,
+            instructions=instructions,
+        )
+
+    @classmethod
+    def synthetic(
+        cls,
+        pattern: str,
+        injection_rate: float,
+        scheme: str,
+        *,
+        warmup: int = 1000,
+        measurement: int = 6000,
+        seed: int = 7,
+        drain: bool = True,
+        config: Optional[NoCConfig] = None,
+        scheme_kwargs: ItemsLike = None,
+        scheme_attrs: ItemsLike = None,
+        metrics: bool = False,
+    ) -> "CellSpec":
+        """An open-loop synthetic-traffic cell.
+
+        ``metrics=True`` selects the extended metrics payload instead
+        of a :class:`RunRecord`.
+        """
+        return cls(
+            kind="synthetic_metrics" if metrics else "synthetic",
+            workload=pattern,
+            scheme=scheme,
+            scheme_kwargs=freeze_items(scheme_kwargs),
+            scheme_attrs=freeze_items(scheme_attrs),
+            config=_config_items(config),
+            seed=seed,
+            injection_rate=injection_rate,
+            warmup=warmup,
+            measurement=measurement,
+            drain=drain,
+        )
+
+    @classmethod
+    def bet(
+        cls,
+        pattern: str,
+        injection_rate: float,
+        scheme: str,
+        *,
+        bet: int,
+        warmup: int = 1000,
+        measurement: int = 4000,
+        seed: int = 7,
+        config: Optional[NoCConfig] = None,
+        scheme_kwargs: ItemsLike = None,
+    ) -> "CellSpec":
+        """A break-even-time energy-accounting cell."""
+        return cls(
+            kind="bet_account",
+            workload=pattern,
+            scheme=scheme,
+            scheme_kwargs=freeze_items(scheme_kwargs),
+            config=_config_items(config),
+            seed=seed,
+            injection_rate=injection_rate,
+            warmup=warmup,
+            measurement=measurement,
+            extras=freeze_items({"bet": bet}),
+        )
+
+    @classmethod
+    def analysis(cls, label: str, **params: object) -> "CellSpec":
+        """A deterministic analysis cell (no simulation)."""
+        return cls(kind="analysis", workload=label, extras=freeze_items(params))
+
+    # ------------------------------------------------------------------
+    # Canonical form / cache key
+    # ------------------------------------------------------------------
+    def build_config(self) -> NoCConfig:
+        """Materialize this cell's :class:`NoCConfig`."""
+        return NoCConfig.from_items(self.config)
+
+    def canonical(self) -> dict:
+        """All fields as a deterministic JSON-ready dict."""
+        doc = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if isinstance(value, tuple):
+                value = [list(pair) for pair in value]
+            doc[f.name] = value
+        return doc
+
+    def canonical_json(self) -> str:
+        """Canonical JSON: sorted keys, compact separators."""
+        return json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+
+    def cache_key(self, salt: str) -> str:
+        """Content address: hash of the canonical spec + code salt."""
+        digest = hashlib.sha256()
+        digest.update(salt.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(self.canonical_json().encode("utf-8"))
+        return digest.hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for logs."""
+        work = self.workload
+        if self.kind in ("synthetic", "synthetic_metrics", "bet_account"):
+            work = f"{self.workload}@{self.injection_rate:g}"
+        return f"{self.kind}:{work}:{self.scheme}:s{self.seed}"

@@ -11,7 +11,15 @@ One front door for every harness in the repository::
     python -m repro.cli all --out results/
 
 ``repro.cli all`` regenerates the complete evaluation in one go (this
-is the long way to reproduce EXPERIMENTS.md).
+is the long way to reproduce EXPERIMENTS.md).  Every experiment runs
+through the campaign engine (``docs/campaigns.md``): ``--workers N``
+fans independent cells out over a process pool, ``--cache-dir`` keeps
+a content-addressed cell cache so re-runs recompute only invalidated
+cells, and ``--resume`` (default) lets an interrupted ``all`` pick up
+where it stopped::
+
+    python -m repro.cli all --out results/ --workers 4
+    python -m repro.cli all --out results/ --workers 4   # warm: 0 cells re-run
 
 Robustness flags (before the command; see ``docs/fault_model.md``)::
 
@@ -27,7 +35,6 @@ invariant checker and deadlock watchdog (bound adjustable with
 
 from __future__ import annotations
 
-import argparse
 import sys
 from typing import List, Optional, Sequence, Tuple
 
@@ -63,12 +70,26 @@ _COMMANDS = {
 
 
 def _run_all(argv: Sequence[str]) -> None:
-    parser = argparse.ArgumentParser(prog="repro.cli all")
+    from .campaign import campaign_argparser
+    from .experiments.common import CANONICAL_INSTRUCTIONS
+
+    parser = campaign_argparser(prog="repro.cli all")
     parser.add_argument("--out", default="results")
-    parser.add_argument("--instructions", type=int, default=2000)
+    parser.add_argument(
+        "--instructions", type=int, default=CANONICAL_INSTRUCTIONS
+    )
     args = parser.parse_args(argv)
     cache = f"{args.out}/parsec_suite.json"
-    parsec_suite.main(["--out", cache, "--instructions", str(args.instructions)])
+    # One shared cell cache under the output directory unless the user
+    # pointed somewhere else: every figure below reuses (and resumes
+    # from) the same content-addressed cells.
+    cache_dir = args.cache_dir or f"{args.out}/cellcache"
+    engine_flags = ["--workers", str(args.workers), "--cache-dir", cache_dir]
+    if not args.resume:
+        engine_flags.append("--no-resume")
+    parsec_suite.main(
+        ["--out", cache, "--instructions", str(args.instructions)] + engine_flags
+    )
     for name, main in (
         ("fig7-fig8", fig7_fig8.main),
         ("fig9-fig10", fig9_fig10.main),
@@ -86,7 +107,7 @@ def _run_all(argv: Sequence[str]) -> None:
         ("baselines", baselines_compare.main),
     ):
         print(f"\n==== {name} ====")
-        main([])
+        main(list(engine_flags))
 
 
 def _split_robustness_flags(

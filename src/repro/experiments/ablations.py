@@ -15,43 +15,52 @@ text argues for:
 * **forewarning** (Sec. 4.3): punch signals double as precise
   packet-arrival predictors; disabling that filter shows the
   wake-thrash it prevents.
+
+Every sweep point is a ``synthetic_metrics`` (or ``bet_account``)
+campaign cell, so ablations share the engine's cache and fan-out with
+the figure scripts.
 """
 
 from __future__ import annotations
 
-import argparse
 from typing import List, Optional, Sequence, Tuple
 
-from ..core import PowerPunchPG, PowerPunchSignal
-from ..noc import Network, NoCConfig
-from ..power import EnergyModel
-from ..traffic import SyntheticTraffic
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
 from .common import format_table
 
 DEFAULT_LOAD = 0.01
 
 
-def _run(scheme, load=DEFAULT_LOAD, measurement=4000, seed=7, config=None):
-    network = Network(config or NoCConfig(), scheme)
-    traffic = SyntheticTraffic(network, "uniform_random", load, seed=seed)
-    model = EnergyModel()
-    traffic.run(1000)
-    snap = model.snapshot(network)
-    network.stats.measure_from = network.cycle
-    traffic.run(measurement)
-    energy = model.account(network, since=snap)
-    stats = network.stats
-    off = sum(c.off_cycles for c in scheme.controllers)
-    total = sum(
-        c.active_cycles + c.off_cycles + c.waking_cycles for c in scheme.controllers
+def _metrics_cell(
+    scheme: str,
+    measurement: int,
+    scheme_kwargs=None,
+    scheme_attrs=None,
+    load: float = DEFAULT_LOAD,
+) -> CellSpec:
+    return CellSpec.synthetic(
+        "uniform_random",
+        load,
+        scheme,
+        measurement=measurement,
+        drain=False,
+        scheme_kwargs=scheme_kwargs,
+        scheme_attrs=scheme_attrs,
+        metrics=True,
     )
-    return {
-        "latency": stats.avg_total_latency,
-        "wait": stats.avg_wakeup_wait,
-        "off_fraction": off / total if total else 0.0,
-        "wake_events": scheme.total_wake_events(),
-        "net_static": energy.net_static,
-    }
+
+
+def _run_keyed(
+    name: str,
+    keyed_cells: Sequence[Tuple[object, CellSpec]],
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
+) -> List[Tuple[object, dict]]:
+    """Run cells and re-attach each sweep's key to its payload."""
+    campaign = Campaign(name=name, cells=tuple(cell for _, cell in keyed_cells))
+    payloads = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    return [(key, payload) for (key, _), payload in zip(keyed_cells, payloads)]
 
 
 # ----------------------------------------------------------------------
@@ -59,79 +68,92 @@ def punch_hops_sweep(
     hops_values: Sequence[int] = (1, 2, 3, 4),
     wakeup_latency: int = 8,
     measurement: int = 4000,
+    **engine,
 ) -> List[Tuple[int, dict]]:
     """Latency/energy vs punch horizon (3-stage router, Twakeup=8)."""
-    return [
+    cells = [
         (
             hops,
-            _run(
-                PowerPunchSignal(wakeup_latency=wakeup_latency, punch_hops=hops),
-                measurement=measurement,
+            _metrics_cell(
+                "PowerPunch-Signal",
+                measurement,
+                scheme_kwargs={"wakeup_latency": wakeup_latency, "punch_hops": hops},
             ),
         )
         for hops in hops_values
     ]
+    return _run_keyed("ablation-punch-hops", cells, **engine)
 
 
 def timeout_sweep(
-    timeouts: Sequence[int] = (2, 4, 8, 16), measurement: int = 4000
+    timeouts: Sequence[int] = (2, 4, 8, 16), measurement: int = 4000, **engine
 ) -> List[Tuple[int, dict]]:
     """Idle-timeout sensitivity for the full Power Punch scheme."""
-    return [
-        (t, _run(PowerPunchPG(timeout=t), measurement=measurement)) for t in timeouts
+    cells = [
+        (
+            t,
+            _metrics_cell(
+                "PowerPunch-PG", measurement, scheme_kwargs={"timeout": t}
+            ),
+        )
+        for t in timeouts
     ]
+    return _run_keyed("ablation-timeout", cells, **engine)
 
 
-def slack_decomposition(measurement: int = 4000) -> List[Tuple[str, dict]]:
+def slack_decomposition(
+    measurement: int = 4000, **engine
+) -> List[Tuple[str, dict]]:
     """Contribution of each injection-node slack to hiding wakeups."""
-    signal_only = PowerPunchSignal()
-    slack1_only = PowerPunchPG()
-    slack1_only.slack2 = False
-    full = PowerPunchPG()
-    return [
-        ("punch signals only", _run(signal_only, measurement=measurement)),
-        ("+ slack 1 (NI pipeline)", _run(slack1_only, measurement=measurement)),
-        ("+ slack 2 (access lead)", _run(full, measurement=measurement)),
+    cells = [
+        (
+            "punch signals only",
+            _metrics_cell("PowerPunch-Signal", measurement),
+        ),
+        (
+            "+ slack 1 (NI pipeline)",
+            _metrics_cell(
+                "PowerPunch-PG", measurement, scheme_attrs={"slack2": False}
+            ),
+        ),
+        (
+            "+ slack 2 (access lead)",
+            _metrics_cell("PowerPunch-PG", measurement),
+        ),
     ]
+    return _run_keyed("ablation-slack", cells, **engine)
 
 
 def bet_sweep(
-    bet_values: Sequence[int] = (5, 10, 20, 40), measurement: int = 4000
+    bet_values: Sequence[int] = (5, 10, 20, 40), measurement: int = 4000, **engine
 ) -> List[Tuple[int, dict]]:
     """Break-even-time sensitivity (energy only).
 
     BET scales the per-event power-gating overhead (Sec. 2.3 footnote:
     one sleep/wake pair costs BET cycles of static energy), so larger
-    BETs erode net static savings without touching timing.  Both
-    schemes run the *same* simulation; only the energy accounting
-    changes.
+    BETs erode net static savings without touching timing.  Every BET
+    cell replays the *same* deterministic simulation; only the energy
+    accounting changes, which the identical timing fields prove.
     """
-    from ..power import EnergyModel, PowerConstants
-
-    scheme = PowerPunchPG()
-    network = Network(NoCConfig(), scheme)
-    traffic = SyntheticTraffic(network, "uniform_random", DEFAULT_LOAD, seed=7)
-    traffic.run(1000 + measurement)
-    results = []
-    for bet in bet_values:
-        model = EnergyModel(PowerConstants(break_even_cycles=bet))
-        energy = model.account(network)
-        results.append(
-            (
-                bet,
-                {
-                    "latency": network.stats.avg_total_latency,
-                    "wait": network.stats.avg_wakeup_wait,
-                    "off_fraction": 0.0,
-                    "wake_events": scheme.total_wake_events(),
-                    "net_static": energy.net_static,
-                },
-            )
+    cells = [
+        (
+            bet,
+            CellSpec.bet(
+                "uniform_random",
+                DEFAULT_LOAD,
+                "PowerPunch-PG",
+                bet=bet,
+                measurement=measurement,
+            ),
         )
-    return results
+        for bet in bet_values
+    ]
+    return _run_keyed("ablation-bet", cells, **engine)
 
 
-def forewarning_ablation(measurement: int = 4000) -> List[Tuple[str, dict]]:
+def forewarning_ablation(
+    measurement: int = 4000, **engine
+) -> List[Tuple[str, dict]]:
     """Punch-based short-idle filtering on vs off.
 
     At the default 4-cycle timeout the per-cycle punch re-assertion
@@ -141,13 +163,24 @@ def forewarning_ablation(measurement: int = 4000) -> List[Tuple[str, dict]]:
     actually bites: an aggressive 2-cycle timeout, where gaps would
     otherwise cause wake-thrash.
     """
-    with_filter = PowerPunchPG(timeout=2)
-    without = PowerPunchPG(timeout=2)
-    without.use_forewarning = False
-    return [
-        ("forewarning on", _run(with_filter, measurement=measurement)),
-        ("forewarning off", _run(without, measurement=measurement)),
+    cells = [
+        (
+            "forewarning on",
+            _metrics_cell(
+                "PowerPunch-PG", measurement, scheme_kwargs={"timeout": 2}
+            ),
+        ),
+        (
+            "forewarning off",
+            _metrics_cell(
+                "PowerPunch-PG",
+                measurement,
+                scheme_kwargs={"timeout": 2},
+                scheme_attrs={"use_forewarning": False},
+            ),
+        ),
     ]
+    return _run_keyed("ablation-forewarning", cells, **engine)
 
 
 # ----------------------------------------------------------------------
@@ -171,19 +204,20 @@ def _table(title: str, rows: List[Tuple[object, dict]]) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """Run and print all ablation tables."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = campaign_argparser(__doc__)
     parser.add_argument("--measurement", type=int, default=4000)
     args = parser.parse_args(argv)
     m = args.measurement
-    print(_table("Ablation: punch horizon (Twakeup=8, 3-stage)", punch_hops_sweep(measurement=m)))
+    engine = engine_options(args)
+    print(_table("Ablation: punch horizon (Twakeup=8, 3-stage)", punch_hops_sweep(measurement=m, **engine)))
     print()
-    print(_table("Ablation: idle timeout", timeout_sweep(measurement=m)))
+    print(_table("Ablation: idle timeout", timeout_sweep(measurement=m, **engine)))
     print()
-    print(_table("Ablation: injection slack decomposition", slack_decomposition(measurement=m)))
+    print(_table("Ablation: injection slack decomposition", slack_decomposition(measurement=m, **engine)))
     print()
-    print(_table("Ablation: punch forewarning filter", forewarning_ablation(measurement=m)))
+    print(_table("Ablation: punch forewarning filter", forewarning_ablation(measurement=m, **engine)))
     print()
-    print(_table("Ablation: break-even time (energy accounting only)", bet_sweep(measurement=m)))
+    print(_table("Ablation: break-even time (energy accounting only)", bet_sweep(measurement=m, **engine)))
 
 
 if __name__ == "__main__":

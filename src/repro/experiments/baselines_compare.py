@@ -8,20 +8,37 @@ NoRD versus 1.8 cycles in Power Punch for the 64-node system)."
 This harness compares No-PG, ConvOpt-PG, PowerPunch-PG and our
 NoRD-like baseline (bypass-ring detours, transit never wakes routers —
 see ``repro.baselines.nord`` for the simplifications) on uniform-random
-traffic at a PARSEC-like load.
+traffic at a PARSEC-like load, one ``synthetic_metrics`` campaign cell
+per scheme.
 """
 
 from __future__ import annotations
 
-import argparse
 from typing import List, Optional, Sequence, Tuple
 
-from ..baselines import NoRDLike
-from ..core import ConvOptPG, NoPG, PowerPunchPG
-from ..noc import Network, NoCConfig
-from ..power import EnergyModel
-from ..traffic import SyntheticTraffic
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
 from .common import format_table
+
+_SCHEMES = ["No-PG", "ConvOpt-PG", "PowerPunch-PG", "NoRD-like"]
+
+
+def comparison_campaign(
+    load: float = 0.01, measurement: int = 5000, seed: int = 7
+) -> Campaign:
+    """Declare the four-scheme comparison as a campaign."""
+    cells = tuple(
+        CellSpec.synthetic(
+            "uniform_random",
+            load,
+            scheme,
+            measurement=measurement,
+            seed=seed,
+            drain=False,
+            metrics=True,
+        )
+        for scheme in _SCHEMES
+    )
+    return Campaign(name="baselines-compare", cells=cells)
 
 
 def run_comparison(
@@ -29,28 +46,17 @@ def run_comparison(
     measurement: int = 5000,
     seed: int = 7,
     verbose: bool = True,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> List[Tuple[str, dict]]:
     """Run the four schemes on uniform-random traffic at one load."""
-    results = []
-    for scheme in (NoPG(), ConvOptPG(), PowerPunchPG(), NoRDLike()):
-        network = Network(NoCConfig(), scheme)
-        traffic = SyntheticTraffic(network, "uniform_random", load, seed=seed)
-        model = EnergyModel()
-        traffic.run(1000)
-        snap = model.snapshot(network)
-        network.stats.measure_from = network.cycle
-        traffic.run(measurement)
-        energy = model.account(network, since=snap)
-        stats = network.stats
-        row = {
-            "latency": stats.avg_total_latency,
-            "delivered": stats.delivered,
-            "net_static": energy.net_static,
-            "detoured": getattr(scheme, "detoured_packets", 0),
-        }
-        results.append((scheme.name, row))
-        if verbose:
-            print(f"[baselines] {scheme.name:15s} lat={row['latency']:7.2f}")
+    campaign = comparison_campaign(load=load, measurement=measurement, seed=seed)
+    payloads = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    results = list(zip(_SCHEMES, payloads))
+    if verbose:
+        for name, row in results:
+            print(f"[baselines] {name:15s} lat={row['latency']:7.2f}")
     return results
 
 
@@ -86,11 +92,17 @@ def report(results) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = campaign_argparser(__doc__)
     parser.add_argument("--load", type=float, default=0.01)
     parser.add_argument("--measurement", type=int, default=5000)
     args = parser.parse_args(argv)
-    print(report(run_comparison(load=args.load, measurement=args.measurement)))
+    print(
+        report(
+            run_comparison(
+                load=args.load, measurement=args.measurement, **engine_options(args)
+            )
+        )
+    )
 
 
 if __name__ == "__main__":

@@ -1,4 +1,13 @@
-"""Shared experiment plumbing: scheme registry, runners, table printing."""
+"""Shared experiment plumbing: scheme registry, run records, tables.
+
+The sweep loops that used to live here moved to :mod:`repro.campaign`:
+experiments declare :class:`~repro.campaign.CellSpec` cells and hand
+them to the campaign engine, which runs them (optionally in parallel,
+against a content-addressed cache) via :mod:`repro.campaign.runner`.
+This module keeps only what every consumer shares: the scheme
+registry, the :class:`RunRecord` measurement row with its persistence
+helpers, and plain-text table formatting.
+"""
 
 from __future__ import annotations
 
@@ -6,13 +15,16 @@ import json
 import os
 import statistics
 from dataclasses import asdict, dataclass
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
+from ..baselines import NoRDLike
 from ..core import ConvOptPG, NoPG, PowerPunchPG, PowerPunchSignal
-from ..noc import Network, NoCConfig
-from ..power import EnergyModel
-from ..system import Chip, get_profile
-from ..traffic import SyntheticTraffic
+
+#: The canonical per-core instruction budget of the documented PARSEC
+#: runs (EXPERIMENTS.md: ``--instructions 2000``).  Every default —
+#: ``run_parsec``, the suite, the campaign argparser, ``run-all`` —
+#: points here so the documented run and the default run are the same.
+CANONICAL_INSTRUCTIONS = 2000
 
 #: The four evaluated schemes, in the paper's order (Sec. 5).
 SCHEMES = {
@@ -24,11 +36,29 @@ SCHEMES = {
 
 SCHEME_ORDER = list(SCHEMES)
 
+#: Schemes runnable by name but outside the paper's headline four
+#: (Sec. 6.6(3) comparison baselines).
+EXTRA_SCHEMES = {
+    "NoRD-like": NoRDLike,
+}
+
+ALL_SCHEMES = {**SCHEMES, **EXTRA_SCHEMES}
+
 
 def make_scheme(name: str, **kwargs):
-    """Instantiate a scheme by registry name (kwargs ignored for No-PG)."""
-    cls = SCHEMES[name]
+    """Instantiate a scheme by registry name.
+
+    Unexpected kwargs always fail loudly: parameterized schemes raise
+    ``TypeError`` from their constructors, and No-PG (which takes no
+    parameters) rejects any kwargs explicitly so a typo in a sweep
+    spec cannot silently evaporate.
+    """
+    cls = ALL_SCHEMES[name]
     if cls is NoPG:
+        if kwargs:
+            raise TypeError(
+                f"No-PG accepts no scheme kwargs, got {sorted(kwargs)}"
+            )
         return cls()
     return cls(**kwargs)
 
@@ -61,86 +91,8 @@ class RunRecord:
         return self.dynamic_energy + self.net_static_energy
 
 
-def run_parsec(
-    benchmark: str,
-    scheme_name: str,
-    instructions: int = 1500,
-    seed: int = 1,
-    config: Optional[NoCConfig] = None,
-    **scheme_kwargs,
-) -> RunRecord:
-    """Run one PARSEC-profile workload under one scheme."""
-    config = config or NoCConfig()
-    scheme = make_scheme(scheme_name, **scheme_kwargs)
-    chip = Chip(
-        config,
-        scheme,
-        get_profile(benchmark),
-        instructions_per_core=instructions,
-        seed=seed,
-        benchmark=benchmark,
-    )
-    result = chip.run(max_cycles=8_000_000)
-    energy = EnergyModel().account(chip.network)
-    return RunRecord(
-        workload=benchmark,
-        scheme=scheme_name,
-        execution_time=result.execution_time,
-        avg_packet_latency=result.avg_packet_latency,
-        avg_total_latency=result.avg_total_latency,
-        avg_blocked_routers=result.avg_blocked_routers,
-        avg_wakeup_wait=result.avg_wakeup_wait,
-        injection_rate=result.injection_rate,
-        dynamic_energy=energy.dynamic,
-        static_energy=energy.static,
-        overhead_energy=energy.overhead,
-        cycles=result.cycles,
-    )
-
-
-def run_synthetic(
-    pattern: str,
-    injection_rate: float,
-    scheme_name: str,
-    warmup: int = 1000,
-    measurement: int = 6000,
-    seed: int = 7,
-    config: Optional[NoCConfig] = None,
-    drain: bool = True,
-    **scheme_kwargs,
-) -> RunRecord:
-    """Run one open-loop synthetic-traffic point under one scheme."""
-    config = config or NoCConfig()
-    scheme = make_scheme(scheme_name, **scheme_kwargs)
-    network = Network(config, scheme)
-    traffic = SyntheticTraffic(network, pattern, injection_rate, seed=seed)
-    energy_model = EnergyModel()
-    traffic.run(warmup)
-    snapshot = energy_model.snapshot(network)
-    network.stats.measure_from = network.cycle
-    traffic.run(measurement)
-    energy = energy_model.account(network, since=snapshot)
-    if drain:
-        traffic.drain()
-    stats = network.stats
-    return RunRecord(
-        workload=f"{pattern}@{injection_rate}",
-        scheme=scheme_name,
-        execution_time=network.cycle,
-        avg_packet_latency=stats.avg_packet_latency,
-        avg_total_latency=stats.avg_total_latency,
-        avg_blocked_routers=stats.avg_blocked_routers,
-        avg_wakeup_wait=stats.avg_wakeup_wait,
-        injection_rate=stats.throughput(config.num_nodes),
-        dynamic_energy=energy.dynamic,
-        static_energy=energy.static,
-        overhead_energy=energy.overhead,
-        cycles=energy.cycles,
-    )
-
-
 # ----------------------------------------------------------------------
-# Result caching (lets the per-figure scripts share one PARSEC sweep)
+# Record persistence (the exported products of a campaign run)
 # ----------------------------------------------------------------------
 def save_records(records: Sequence[RunRecord], path: str) -> None:
     """Persist run records as JSON."""

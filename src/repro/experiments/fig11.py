@@ -14,10 +14,10 @@ Power Punch wins on energy *and* performance.
 
 from __future__ import annotations
 
-import argparse
 from collections import defaultdict
 from typing import Optional, Sequence
 
+from ..campaign import campaign_argparser, engine_options
 from .common import SCHEME_ORDER, format_table, mean
 from .parsec_suite import suite_records
 
@@ -80,11 +80,15 @@ def report(records) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--cache", default=None)
-    parser.add_argument("--instructions", type=int, default=1500)
+    parser = campaign_argparser(__doc__, suite_cache=True, instructions=True)
     args = parser.parse_args(argv)
-    print(report(suite_records(args.cache, instructions=args.instructions)))
+    print(
+        report(
+            suite_records(
+                args.cache, instructions=args.instructions, **engine_options(args)
+            )
+        )
+    )
 
 
 if __name__ == "__main__":

@@ -16,10 +16,10 @@ performance cost.
 
 from __future__ import annotations
 
-import argparse
 from typing import Dict, List, Optional, Sequence
 
-from .common import RunRecord, format_table, run_synthetic
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
+from .common import RunRecord, format_table
 
 #: Sweep loads per pattern (flits/node/cycle).  Transpose and
 #: bit-complement saturate earlier than uniform random (Fig. 12 axes).
@@ -32,6 +32,29 @@ DEFAULT_LOADS = {
 _SCHEMES = ["No-PG", "ConvOpt-PG", "PowerPunch-PG"]
 
 
+def sweep_campaign(
+    pattern: str,
+    loads: Sequence[float],
+    warmup: int = 1000,
+    measurement: int = 5000,
+    schemes: Sequence[str] = tuple(_SCHEMES),
+) -> Campaign:
+    """Declare one pattern's load sweep as a campaign."""
+    cells = tuple(
+        CellSpec.synthetic(
+            pattern,
+            load,
+            scheme,
+            warmup=warmup,
+            measurement=measurement,
+            drain=False,
+        )
+        for load in loads
+        for scheme in schemes
+    )
+    return Campaign(name=f"fig12-{pattern}", cells=cells)
+
+
 def run_sweep(
     pattern: str,
     loads: Sequence[float],
@@ -39,26 +62,23 @@ def run_sweep(
     measurement: int = 5000,
     schemes: Sequence[str] = tuple(_SCHEMES),
     verbose: bool = True,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> List[RunRecord]:
     """Sweep one traffic pattern across loads for the Fig. 12 schemes."""
-    records = []
-    for load in loads:
-        for scheme in schemes:
-            record = run_synthetic(
-                pattern,
-                load,
-                scheme,
-                warmup=warmup,
-                measurement=measurement,
-                drain=False,
+    campaign = sweep_campaign(
+        pattern, loads, warmup=warmup, measurement=measurement, schemes=schemes
+    )
+    records = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    if verbose:
+        for record in records:
+            load = float(record.workload.split("@")[1])
+            print(
+                f"[fig12] {pattern:15s} load={load:.3f} {record.scheme:15s} "
+                f"lat={record.avg_total_latency:7.2f} "
+                f"P_static={record.static_power_w():.3f} W"
             )
-            records.append(record)
-            if verbose:
-                print(
-                    f"[fig12] {pattern:15s} load={load:.3f} {scheme:15s} "
-                    f"lat={record.avg_total_latency:7.2f} "
-                    f"P_static={record.static_power_w():.3f} W"
-                )
     return records
 
 
@@ -107,7 +127,7 @@ def report(pattern: str, records: List[RunRecord]) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = campaign_argparser(__doc__)
     parser.add_argument(
         "--patterns", nargs="*", default=list(DEFAULT_LOADS), help="patterns to sweep"
     )
@@ -117,7 +137,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     all_records = []
     for pattern in args.patterns:
         records = run_sweep(
-            pattern, DEFAULT_LOADS[pattern], measurement=args.measurement
+            pattern,
+            DEFAULT_LOADS[pattern],
+            measurement=args.measurement,
+            **engine_options(args),
         )
         all_records.extend(records)
         print()

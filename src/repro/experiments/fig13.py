@@ -13,11 +13,11 @@ paper reports 9.2% there and notes a 4-hop punch removes it.
 
 from __future__ import annotations
 
-import argparse
 from typing import List, Optional, Sequence, Tuple
 
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
 from ..noc import NoCConfig
-from .common import RunRecord, format_table, run_synthetic
+from .common import RunRecord, format_table
 
 #: (router_stages, wakeup_latency) points of Fig. 13.
 DEFAULT_POINTS: List[Tuple[int, int]] = [
@@ -35,15 +35,14 @@ PARSEC_AVG_LOAD = 0.006
 _SCHEMES = ["No-PG", "ConvOpt-PG", "PowerPunch-PG"]
 
 
-def run_sensitivity(
+def sensitivity_campaign(
     points: Sequence[Tuple[int, int]] = tuple(DEFAULT_POINTS),
     load: float = PARSEC_AVG_LOAD,
     punch_hops: int = 3,
     measurement: int = 5000,
-    verbose: bool = True,
-) -> List[Tuple[int, int, str, RunRecord]]:
-    """Run the (pipeline, Twakeup) sensitivity grid of Fig. 13."""
-    results = []
+) -> Campaign:
+    """Declare the (pipeline, Twakeup) sensitivity grid as a campaign."""
+    cells = []
     for stages, twakeup in points:
         config = NoCConfig(router_stages=stages)
         for scheme in _SCHEMES:
@@ -52,21 +51,50 @@ def run_sensitivity(
                 kwargs["wakeup_latency"] = twakeup
             if scheme == "PowerPunch-PG":
                 kwargs["punch_hops"] = punch_hops
-            record = run_synthetic(
-                "uniform_random",
-                load,
-                scheme,
-                config=config,
-                measurement=measurement,
-                drain=False,
-                **kwargs,
-            )
-            results.append((stages, twakeup, scheme, record))
-            if verbose:
-                print(
-                    f"[fig13] {stages}-stage Twakeup={twakeup:2d} {scheme:15s} "
-                    f"lat={record.avg_total_latency:7.2f}"
+            cells.append(
+                CellSpec.synthetic(
+                    "uniform_random",
+                    load,
+                    scheme,
+                    config=config,
+                    measurement=measurement,
+                    drain=False,
+                    scheme_kwargs=kwargs,
                 )
+            )
+    return Campaign(name="fig13", cells=tuple(cells))
+
+
+def run_sensitivity(
+    points: Sequence[Tuple[int, int]] = tuple(DEFAULT_POINTS),
+    load: float = PARSEC_AVG_LOAD,
+    punch_hops: int = 3,
+    measurement: int = 5000,
+    verbose: bool = True,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
+) -> List[Tuple[int, int, str, RunRecord]]:
+    """Run the (pipeline, Twakeup) sensitivity grid of Fig. 13."""
+    campaign = sensitivity_campaign(
+        points, load=load, punch_hops=punch_hops, measurement=measurement
+    )
+    records = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    keys = [
+        (stages, twakeup, scheme)
+        for stages, twakeup in points
+        for scheme in _SCHEMES
+    ]
+    results = [
+        (stages, twakeup, scheme, record)
+        for (stages, twakeup, scheme), record in zip(keys, records)
+    ]
+    if verbose:
+        for stages, twakeup, scheme, record in results:
+            print(
+                f"[fig13] {stages}-stage Twakeup={twakeup:2d} {scheme:15s} "
+                f"lat={record.avg_total_latency:7.2f}"
+            )
     return results
 
 
@@ -100,11 +128,19 @@ def report(results) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = campaign_argparser(__doc__)
     parser.add_argument("--load", type=float, default=PARSEC_AVG_LOAD)
     parser.add_argument("--measurement", type=int, default=5000)
     args = parser.parse_args(argv)
-    print(report(run_sensitivity(load=args.load, measurement=args.measurement)))
+    print(
+        report(
+            run_sensitivity(
+                load=args.load,
+                measurement=args.measurement,
+                **engine_options(args),
+            )
+        )
+    )
 
 
 if __name__ == "__main__":

@@ -11,10 +11,10 @@ quantities with their paper reference values.
 
 from __future__ import annotations
 
-import argparse
 from collections import defaultdict
 from typing import Optional, Sequence
 
+from ..campaign import campaign_argparser, engine_options
 from .common import mean
 from .parsec_suite import suite_records
 
@@ -83,11 +83,15 @@ def report(records) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--cache", default=None)
-    parser.add_argument("--instructions", type=int, default=1500)
+    parser = campaign_argparser(__doc__, suite_cache=True, instructions=True)
     args = parser.parse_args(argv)
-    print(report(suite_records(args.cache, instructions=args.instructions)))
+    print(
+        report(
+            suite_records(
+                args.cache, instructions=args.instructions, **engine_options(args)
+            )
+        )
+    )
 
 
 if __name__ == "__main__":

@@ -1,54 +1,68 @@
 """Full PARSEC x scheme sweep shared by Figures 7-11.
 
-Running the 8-benchmark, 4-scheme matrix takes a few minutes; the
-result list is cached to JSON so the per-figure scripts can re-use it:
+The 8-benchmark, 4-scheme matrix is declared as campaign cells and
+executed through :mod:`repro.campaign`: with ``--cache-dir`` every
+(benchmark, scheme, config, seed) cell is content-addressed on disk,
+so re-runs (and the per-figure scripts) recompute only invalidated
+cells, and ``--workers N`` fans the matrix out over a process pool::
 
-    python -m repro.experiments.parsec_suite --out results/parsec.json
-    python -m repro.experiments.fig7_fig8 --cache results/parsec.json
+    python -m repro.experiments.parsec_suite --out results/parsec_suite.json \\
+        --workers 4 --cache-dir results/cellcache
+    python -m repro.cli fig7-fig8 --cache results/parsec_suite.json
 """
 
 from __future__ import annotations
 
-import argparse
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
 from ..system import PARSEC_BENCHMARKS
-from .common import SCHEME_ORDER, RunRecord, load_records, run_parsec, save_records
+from .common import (
+    CANONICAL_INSTRUCTIONS,
+    SCHEME_ORDER,
+    RunRecord,
+    load_records,
+    save_records,
+)
 
 
-def _run_one(job: Tuple[str, str, int, int]) -> RunRecord:
-    bench, scheme, instructions, seed = job
-    return run_parsec(bench, scheme, instructions=instructions, seed=seed)
+def suite_campaign(
+    benchmarks: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    instructions: int = CANONICAL_INSTRUCTIONS,
+    seed: int = 1,
+) -> Campaign:
+    """Declare the benchmark x scheme matrix as a campaign."""
+    benchmarks = list(benchmarks or PARSEC_BENCHMARKS)
+    schemes = list(schemes or SCHEME_ORDER)
+    cells = tuple(
+        CellSpec.parsec(bench, scheme, instructions=instructions, seed=seed)
+        for bench in benchmarks
+        for scheme in schemes
+    )
+    return Campaign(name="parsec-suite", cells=cells)
 
 
 def run_suite(
     benchmarks: Optional[Sequence[str]] = None,
     schemes: Optional[Sequence[str]] = None,
-    instructions: int = 1500,
+    instructions: int = CANONICAL_INSTRUCTIONS,
     seed: int = 1,
     verbose: bool = True,
     workers: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> List[RunRecord]:
-    """Run the benchmark x scheme matrix.
+    """Run the benchmark x scheme matrix through the campaign engine.
 
-    Every (benchmark, scheme) run is independent and deterministic, so
-    with ``workers > 1`` the matrix fans out over a process pool;
-    results come back in the same benchmark-major order either way.
+    Every cell is independent and carries its own seed, so with
+    ``workers > 1`` the matrix fans out over a process pool; results
+    come back in the same benchmark-major order either way.
     """
-    benchmarks = list(benchmarks or PARSEC_BENCHMARKS)
-    schemes = list(schemes or SCHEME_ORDER)
-    jobs = [
-        (bench, scheme, instructions, seed)
-        for bench in benchmarks
-        for scheme in schemes
-    ]
-    if workers > 1:
-        from concurrent.futures import ProcessPoolExecutor
-
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            records = list(pool.map(_run_one, jobs))
-    else:
-        records = [_run_one(job) for job in jobs]
+    campaign = suite_campaign(
+        benchmarks=benchmarks, schemes=schemes, instructions=instructions, seed=seed
+    )
+    records = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
     if verbose:
         for record in records:
             print(
@@ -63,18 +77,31 @@ def run_suite(
 
 def suite_records(
     cache: Optional[str],
-    instructions: int = 1500,
+    instructions: int = CANONICAL_INSTRUCTIONS,
     benchmarks: Optional[Sequence[str]] = None,
     verbose: bool = True,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> List[RunRecord]:
-    """Load records from ``cache`` if possible, else run and store them."""
+    """Load records from the suite JSON if possible, else run and store.
+
+    ``cache`` is the whole-suite records file (the exported product);
+    ``cache_dir`` is the per-cell content-addressed cache that decides
+    what actually needs to simulate.
+    """
     if cache:
         try:
             return load_records(cache)
         except (OSError, ValueError):
             pass
     records = run_suite(
-        benchmarks=benchmarks, instructions=instructions, verbose=verbose
+        benchmarks=benchmarks,
+        instructions=instructions,
+        verbose=verbose,
+        workers=workers,
+        cache_dir=cache_dir,
+        resume=resume,
     )
     if cache:
         save_records(records, cache)
@@ -82,20 +109,18 @@ def suite_records(
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
-    """CLI entry point: run the matrix and write the JSON cache."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    """CLI entry point: run the matrix and write the JSON product."""
+    parser = campaign_argparser(__doc__, instructions=True)
     parser.add_argument("--out", default="results/parsec_suite.json")
     parser.add_argument("--csv", default=None, help="also export rows as CSV")
-    parser.add_argument("--instructions", type=int, default=1500)
     parser.add_argument("--benchmarks", nargs="*", default=None)
-    parser.add_argument(
-        "--workers", type=int, default=1, help="process-pool fan-out (runs are independent)"
-    )
+    parser.add_argument("--seed", type=int, default=1)
     args = parser.parse_args(argv)
     records = run_suite(
         benchmarks=args.benchmarks,
         instructions=args.instructions,
-        workers=args.workers,
+        seed=args.seed,
+        **engine_options(args),
     )
     save_records(records, args.out)
     print(f"saved {len(records)} records to {args.out}")

@@ -9,13 +9,34 @@ punch signals keep hiding it, so the relative win grows with mesh size.
 
 from __future__ import annotations
 
-import argparse
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
 from ..noc import NoCConfig
-from .common import RunRecord, format_table, run_synthetic
+from .common import RunRecord, format_table
 
 _SCHEMES = ["No-PG", "ConvOpt-PG", "PowerPunch-PG"]
+
+
+def scalability_campaign(
+    sizes: Sequence[int] = (4, 8, 16),
+    load: float = 0.01,
+    measurement: int = 4000,
+) -> Campaign:
+    """Declare the mesh-size sweep of Sec. 6.6(2) as a campaign."""
+    cells = tuple(
+        CellSpec.synthetic(
+            "uniform_random",
+            load,
+            scheme,
+            config=NoCConfig(width=size, height=size),
+            measurement=measurement,
+            drain=False,
+        )
+        for size in sizes
+        for scheme in _SCHEMES
+    )
+    return Campaign(name="scalability", cells=cells)
 
 
 def run_scalability(
@@ -23,26 +44,24 @@ def run_scalability(
     load: float = 0.01,
     measurement: int = 4000,
     verbose: bool = True,
+    workers: int = 1,
+    cache_dir: Optional[str] = None,
+    resume: bool = True,
 ) -> List[Tuple[int, str, RunRecord]]:
     """Run the mesh-size sweep of Sec. 6.6(2)."""
-    results = []
-    for size in sizes:
-        config = NoCConfig(width=size, height=size)
-        for scheme in _SCHEMES:
-            record = run_synthetic(
-                "uniform_random",
-                load,
-                scheme,
-                config=config,
-                measurement=measurement,
-                drain=False,
+    campaign = scalability_campaign(sizes, load=load, measurement=measurement)
+    records = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    keys = [(size, scheme) for size in sizes for scheme in _SCHEMES]
+    results = [
+        (size, scheme, record)
+        for (size, scheme), record in zip(keys, records)
+    ]
+    if verbose:
+        for size, scheme, record in results:
+            print(
+                f"[scalability] {size:2d}x{size:<2d} {scheme:15s} "
+                f"lat={record.avg_total_latency:7.2f}"
             )
-            results.append((size, scheme, record))
-            if verbose:
-                print(
-                    f"[scalability] {size:2d}x{size:<2d} {scheme:15s} "
-                    f"lat={record.avg_total_latency:7.2f}"
-                )
     return results
 
 
@@ -79,7 +98,7 @@ def report(results) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = campaign_argparser(__doc__)
     parser.add_argument("--sizes", nargs="*", type=int, default=[4, 8, 16])
     parser.add_argument("--load", type=float, default=0.01)
     parser.add_argument("--measurement", type=int, default=4000)
@@ -87,7 +106,10 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     print(
         report(
             run_scalability(
-                sizes=args.sizes, load=args.load, measurement=args.measurement
+                sizes=args.sizes,
+                load=args.load,
+                measurement=args.measurement,
+                **engine_options(args),
             )
         )
     )

@@ -11,7 +11,6 @@ routing and 3-hop punch slack:
 
 from __future__ import annotations
 
-import argparse
 from typing import Optional, Sequence
 
 from ..core import PunchEncodingAnalysis
@@ -66,14 +65,35 @@ def report(width: int = 8, hops: int = 3, router: int = 27) -> str:
     return "\n".join(lines)
 
 
+def table1_campaign(width: int = 8, hops: int = 3, router: int = 27):
+    """The exhaustive enumeration as a single cacheable analysis cell."""
+    from ..campaign import Campaign, CellSpec
+
+    cell = CellSpec.analysis("table1", width=width, hops=hops, router=router)
+    return Campaign(
+        name="table1",
+        cells=(cell,),
+        reducer=lambda payloads: payloads[0]["report"],
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    from ..campaign import campaign_argparser, engine_options
+
+    parser = campaign_argparser(__doc__)
     parser.add_argument("--width", type=int, default=8)
     parser.add_argument("--hops", type=int, default=3)
     parser.add_argument("--router", type=int, default=27)
     args = parser.parse_args(argv)
-    print(report(width=args.width, hops=args.hops, router=args.router))
+    campaign = table1_campaign(width=args.width, hops=args.hops, router=args.router)
+    engine = engine_options(args)
+    print(
+        campaign.run(
+            cache_dir=engine["cache_dir"],
+            resume=engine["resume"],
+        )
+    )
 
 
 if __name__ == "__main__":

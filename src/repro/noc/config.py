@@ -10,8 +10,8 @@ network interface.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple
 
 from .packet import NUM_VNETS, VirtualNetwork
 
@@ -89,3 +89,25 @@ class NoCConfig:
     def depths_by_vc(self) -> Dict[int, int]:
         """Buffer depth for each flat VC index."""
         return {vc: self.vc_depth(self.vnet_of_vc(vc)) for vc in range(self.num_vcs)}
+
+    # ------------------------------------------------------------------
+    # Stable serialization (campaign cell specs / cache keys)
+    # ------------------------------------------------------------------
+    def to_items(self) -> Tuple[Tuple[str, object], ...]:
+        """Sorted ``(field, value)`` pairs for every non-default field.
+
+        This is the canonical wire form used by campaign cell specs: it
+        is hashable, JSON-friendly, independent of field declaration
+        order, and two configs compare equal iff their items do.
+        """
+        items = [
+            (field.name, getattr(self, field.name))
+            for field in fields(self)
+            if getattr(self, field.name) != field.default
+        ]
+        return tuple(sorted(items))
+
+    @classmethod
+    def from_items(cls, items: Tuple[Tuple[str, object], ...]) -> "NoCConfig":
+        """Rebuild a config from :meth:`to_items` output."""
+        return cls(**dict(items))

@@ -1,0 +1,313 @@
+"""Tests for the declarative campaign engine.
+
+Covers the cell-spec hashing contract, the content-addressed cache
+(hit / miss / stale-salt / corrupt-entry paths), the executor
+(ordering, parallel equivalence, retry, event log) and the shared
+CLI plumbing.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    Campaign,
+    CampaignError,
+    CellCache,
+    CellSpec,
+    campaign_argparser,
+    decode_payload,
+    encode_payload,
+    engine_options,
+    execute_cells,
+    freeze_items,
+    run_cell,
+)
+from repro.campaign.engine import _attempt_cell
+from repro.experiments.common import CANONICAL_INSTRUCTIONS, RunRecord
+from repro.noc import NoCConfig
+from repro.noc.errors import SimulationError
+
+
+def make_record(**overrides):
+    base = dict(
+        workload="w",
+        scheme="No-PG",
+        execution_time=1000,
+        avg_packet_latency=30.0,
+        avg_total_latency=33.0,
+        avg_blocked_routers=0.5,
+        avg_wakeup_wait=1.0,
+        injection_rate=0.01,
+        dynamic_energy=0.2,
+        static_energy=1.0,
+        overhead_energy=0.25,
+        cycles=1000,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestCellSpec:
+    def test_hashable_and_usable_as_dict_key(self):
+        a = CellSpec.parsec("canneal", "No-PG")
+        b = CellSpec.parsec("canneal", "No-PG")
+        assert a == b
+        assert {a: 1}[b] == 1
+
+    def test_defaults_use_canonical_instructions(self):
+        spec = CellSpec.parsec("canneal", "No-PG")
+        assert spec.instructions == CANONICAL_INSTRUCTIONS
+
+    def test_canonical_json_stable_under_kwarg_order(self):
+        kw1 = freeze_items({"wakeup_latency": 8, "punch_hops": 3})
+        kw2 = freeze_items({"punch_hops": 3, "wakeup_latency": 8})
+        a = CellSpec.parsec("canneal", "PowerPunch-PG")
+        a = CellSpec(**{**a.__dict__, "scheme_kwargs": kw1})
+        b = CellSpec(**{**a.__dict__, "scheme_kwargs": kw2})
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_canonical_json_distinguishes_specs(self):
+        a = CellSpec.parsec("canneal", "No-PG", seed=1)
+        b = CellSpec.parsec("canneal", "No-PG", seed=2)
+        assert a.canonical_json() != b.canonical_json()
+
+    def test_config_round_trips_through_items(self):
+        cfg = NoCConfig(width=4, height=4, router_stages=4)
+        spec = CellSpec.synthetic("uniform_random", 0.01, "No-PG", config=cfg)
+        assert spec.build_config() == cfg
+        assert NoCConfig.from_items(cfg.to_items()) == cfg
+
+    def test_default_config_items_empty(self):
+        assert NoCConfig().to_items() == ()
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            CellSpec(kind="mystery", workload="w")
+
+
+class TestPayloadCodec:
+    def test_run_record_round_trip(self):
+        rec = make_record()
+        decoded = decode_payload(encode_payload(rec))
+        assert decoded == rec
+        assert decoded.net_static_energy == pytest.approx(1.25)
+        assert decoded.total_energy == pytest.approx(1.45)
+
+    def test_mapping_round_trip(self):
+        payload = {"latency": 31.5, "wake_events": 7}
+        assert decode_payload(encode_payload(payload)) == payload
+
+
+class TestCellCache:
+    def spec(self):
+        return CellSpec.parsec("canneal", "No-PG", instructions=300)
+
+    def test_miss_then_hit(self, tmp_path):
+        cache = CellCache(str(tmp_path), salt="s1")
+        spec = self.spec()
+        assert cache.get(spec) is None
+        cache.put(spec, make_record())
+        assert cache.get(spec) == make_record()
+
+    def test_stale_salt_is_a_miss(self, tmp_path):
+        spec = self.spec()
+        CellCache(str(tmp_path), salt="s1").put(spec, make_record())
+        assert CellCache(str(tmp_path), salt="s2").get(spec) is None
+        # The old entry is untouched, just unreachable under the new salt.
+        assert CellCache(str(tmp_path), salt="s1").get(spec) == make_record()
+
+    def test_corrupt_entry_degrades_to_miss(self, tmp_path):
+        cache = CellCache(str(tmp_path), salt="s1")
+        spec = self.spec()
+        cache.put(spec, make_record())
+        path = cache.path_for(spec)
+        path.write_text("{ corrupt")
+        assert cache.get(spec) is None
+
+    def test_distinct_specs_distinct_keys(self, tmp_path):
+        cache = CellCache(str(tmp_path), salt="s1")
+        a = CellSpec.parsec("canneal", "No-PG")
+        b = CellSpec.parsec("canneal", "ConvOpt-PG")
+        assert cache.key_for(a) != cache.key_for(b)
+
+
+class TestExecuteCells:
+    def cells(self):
+        return [
+            CellSpec.synthetic(
+                "uniform_random", 0.01, scheme, warmup=100, measurement=300
+            )
+            for scheme in ("No-PG", "PowerPunch-PG")
+        ]
+
+    def test_results_in_declared_order(self):
+        payloads, stats = execute_cells(self.cells())
+        assert [p.scheme for p in payloads] == ["No-PG", "PowerPunch-PG"]
+        assert stats.total == 2 and stats.executed == 2 and stats.hits == 0
+
+    def test_parallel_matches_sequential(self):
+        seq, _ = execute_cells(self.cells())
+        par, _ = execute_cells(self.cells(), workers=2)
+        assert par == seq
+
+    def test_cache_hits_on_second_run(self, tmp_path):
+        cache = CellCache(str(tmp_path), salt="s1")
+        cells = self.cells()
+        _, cold = execute_cells(cells, cache=cache)
+        warm_payloads, warm = execute_cells(cells, cache=cache)
+        assert cold.executed == 2 and cold.hits == 0
+        assert warm.executed == 0 and warm.hits == 2
+        assert [p.scheme for p in warm_payloads] == ["No-PG", "PowerPunch-PG"]
+
+    def test_no_resume_recomputes(self, tmp_path):
+        cache = CellCache(str(tmp_path), salt="s1")
+        cells = self.cells()
+        execute_cells(cells, cache=cache)
+        _, stats = execute_cells(cells, cache=cache, resume=False)
+        assert stats.executed == 2 and stats.hits == 0
+
+    def test_event_log_written(self, tmp_path):
+        log = tmp_path / "events.jsonl"
+        execute_cells(self.cells(), log_path=str(log), name="unit")
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "campaign-start"
+        assert kinds[-1] == "campaign-end"
+        statuses = [e["status"] for e in events if e["event"] == "cell"]
+        assert statuses.count("done") == 2
+        assert events[0]["name"] == "unit"
+        assert events[-1]["executed"] == 2
+        assert all("ts" in e for e in events)
+
+
+class TestRetry:
+    def test_retries_simulation_error(self, monkeypatch):
+        spec = CellSpec.parsec("canneal", "No-PG", instructions=100)
+        calls = []
+
+        def flaky(s):
+            calls.append(s)
+            if len(calls) == 1:
+                raise SimulationError("transient")
+            return make_record()
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", flaky)
+        payload, attempts = _attempt_cell(spec, retries=1)
+        assert payload == make_record()
+        assert attempts == 2
+
+    def test_exhausted_retries_raise_campaign_error(self, monkeypatch):
+        spec = CellSpec.parsec("canneal", "No-PG", instructions=100)
+
+        def always_fails(s):
+            raise SimulationError("persistent")
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", always_fails)
+        with pytest.raises(CampaignError) as exc:
+            execute_cells([spec], retries=1)
+        assert exc.value.spec == spec
+        assert exc.value.attempts == 2
+
+    def test_non_simulation_errors_not_retried(self, monkeypatch):
+        spec = CellSpec.parsec("canneal", "No-PG", instructions=100)
+        calls = []
+
+        def boom(s):
+            calls.append(s)
+            raise RuntimeError("bug")
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", boom)
+        with pytest.raises(CampaignError):
+            execute_cells([spec], retries=3)
+        assert len(calls) == 1
+
+
+class TestCampaign:
+    def test_reducer_applied_and_stats_recorded(self, tmp_path):
+        cells = (
+            CellSpec.synthetic(
+                "uniform_random", 0.01, "No-PG", warmup=100, measurement=300
+            ),
+        )
+        campaign = Campaign(
+            name="unit", cells=cells, reducer=lambda p: p[0].avg_packet_latency
+        )
+        latency = campaign.run(cache_dir=str(tmp_path))
+        assert latency > 0
+        assert campaign.last_stats.total == 1
+        # Default event log lands next to the cache.
+        assert list(tmp_path.glob("*.events.jsonl"))
+
+
+class TestRunCell:
+    def test_metrics_cell_payload_keys(self):
+        spec = CellSpec.synthetic(
+            "uniform_random",
+            0.01,
+            "PowerPunch-PG",
+            warmup=100,
+            measurement=300,
+            drain=False,
+            metrics=True,
+        )
+        payload = run_cell(spec)
+        assert set(payload) >= {
+            "latency",
+            "wait",
+            "off_fraction",
+            "wake_events",
+            "net_static",
+        }
+
+    def test_scheme_attrs_applied(self):
+        from repro.campaign import build_scheme
+
+        spec = CellSpec.synthetic(
+            "uniform_random",
+            0.01,
+            "PowerPunch-PG",
+            metrics=True,
+        )
+        spec = CellSpec(
+            **{**spec.__dict__, "scheme_attrs": freeze_items({"slack2": False})}
+        )
+        scheme = build_scheme(spec)
+        assert scheme.slack2 is False
+
+    def test_unknown_scheme_attr_raises(self):
+        from repro.campaign import build_scheme
+
+        spec = CellSpec.synthetic("uniform_random", 0.01, "PowerPunch-PG")
+        spec = CellSpec(
+            **{**spec.__dict__, "scheme_attrs": freeze_items({"bogus_knob": 1})}
+        )
+        with pytest.raises(TypeError):
+            build_scheme(spec)
+
+
+class TestSharedArgparser:
+    def test_engine_flags_present(self):
+        parser = campaign_argparser("desc")
+        args = parser.parse_args(
+            ["--workers", "3", "--cache-dir", "/tmp/c", "--no-resume"]
+        )
+        assert engine_options(args) == {
+            "workers": 3,
+            "cache_dir": "/tmp/c",
+            "resume": False,
+        }
+
+    def test_defaults(self):
+        args = campaign_argparser("desc").parse_args([])
+        assert engine_options(args) == {
+            "workers": 1,
+            "cache_dir": None,
+            "resume": True,
+        }
+
+    def test_suite_cache_and_instructions_variants(self):
+        parser = campaign_argparser("desc", suite_cache=True, instructions=True)
+        args = parser.parse_args(["--cache", "suite.json"])
+        assert args.cache == "suite.json"
+        assert args.instructions == CANONICAL_INSTRUCTIONS

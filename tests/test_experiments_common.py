@@ -2,7 +2,9 @@
 
 import pytest
 
+from repro.campaign import run_synthetic
 from repro.experiments.common import (
+    CANONICAL_INSTRUCTIONS,
     SCHEME_ORDER,
     RunRecord,
     format_table,
@@ -10,7 +12,6 @@ from repro.experiments.common import (
     load_records,
     make_scheme,
     mean,
-    run_synthetic,
     save_records,
 )
 
@@ -45,6 +46,14 @@ class TestRunRecord:
         loaded = load_records(path)
         assert loaded == records
 
+    def test_json_roundtrip_preserves_derived_fields(self, tmp_path):
+        path = str(tmp_path / "records.json")
+        original = record(static=2.0, overhead=0.5)
+        save_records([original], path)
+        (loaded,) = load_records(path)
+        assert loaded.net_static_energy == pytest.approx(original.net_static_energy)
+        assert loaded.total_energy == pytest.approx(original.total_energy)
+
 
 class TestSchemeRegistry:
     def test_four_schemes_in_paper_order(self):
@@ -59,13 +68,20 @@ class TestSchemeRegistry:
         scheme = make_scheme("PowerPunch-PG", wakeup_latency=12)
         assert scheme.wakeup_latency == 12
 
-    def test_make_scheme_nopg_ignores_kwargs(self):
+    def test_make_scheme_nopg_plain(self):
         scheme = make_scheme("No-PG")
         assert scheme.name == "No-PG"
+
+    def test_make_scheme_nopg_rejects_kwargs(self):
+        with pytest.raises(TypeError, match="No-PG"):
+            make_scheme("No-PG", wakeup_latency=12)
 
     def test_unknown_scheme_raises(self):
         with pytest.raises(KeyError):
             make_scheme("Magic-PG")
+
+    def test_canonical_instructions_matches_experiments_md(self):
+        assert CANONICAL_INSTRUCTIONS == 2000
 
 
 class TestFormatting:
@@ -122,6 +138,17 @@ class TestCsvExport:
         assert len(rows) == 2
         assert rows[1]["scheme"] == "ConvOpt-PG"
         assert float(rows[0]["avg_packet_latency"]) == 30.0
+        # Derived fields are reconstructible from the persisted columns.
+        rebuilt = RunRecord(
+            **{
+                k: type(getattr(record(), k))(v)
+                for k, v in rows[0].items()
+            }
+        )
+        assert rebuilt.net_static_energy == pytest.approx(
+            record().net_static_energy
+        )
+        assert rebuilt.total_energy == pytest.approx(record().total_energy)
 
     def test_save_csv_empty(self, tmp_path):
         from repro.experiments.common import save_csv
