@@ -256,16 +256,22 @@ def run_matrix(
     repeat: int,
     verbose: bool = True,
     workers: int = 1,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> Dict[str, object]:
     """Run the full benchmark matrix; return the bench_kernel/v1 doc.
 
     ``workers > 1`` fans cells out over a process pool; expect extra
     timing noise from co-scheduled workers (cycles/sec drops while the
     active/naive *ratio* within a cell stays comparable, since both
-    kernels of a cell time on the same worker).
+    kernels of a cell time on the same worker).  ``timeout`` bounds
+    each cell's wall clock — a wedged kernel fails its cell instead of
+    hanging the whole trend job.
     """
     campaign = bench_campaign(schemes, meshes, rates, cycles, repeat)
-    results = campaign.run(workers=workers)
+    results = campaign.run(
+        workers=workers, timeout=timeout, max_retries=max_retries
+    )
     if verbose:
         for cell in results:
             print(
@@ -348,6 +354,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         "keep 1 for trend comparisons)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget in seconds (kills wedged cells)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="total attempts per bench cell before it fails the run",
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help="small matrix for CI trend runs (8x8, rate 0.02, 1 repetition)",
@@ -378,6 +396,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         args.cycles,
         args.repeat,
         workers=args.workers,
+        timeout=args.timeout,
+        max_retries=args.max_retries,
     )
     with open(args.out, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

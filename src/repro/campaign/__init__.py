@@ -2,10 +2,12 @@
 
 Experiments declare frozen :class:`CellSpec` cells — one simulation
 each — and run them through :func:`execute_cells` / :class:`Campaign`:
-a process-pool executor with a content-addressed on-disk cache
-(:class:`CellCache`), per-cell retries on the typed
-``SimulationError`` hierarchy, and a structured JSONL progress log.
-See ``docs/campaigns.md``.
+a supervised process-pool executor with a content-addressed on-disk
+cache (:class:`CellCache`), crash isolation and pool respawn, per-cell
+wall-clock timeouts, retry classification with a persistent
+:class:`QuarantineLedger`, periodic :class:`CampaignCheckpoint`
+snapshots for ``kill -9`` recovery, and a structured JSONL progress
+log.  See ``docs/campaigns.md`` and ``docs/resilience.md``.
 """
 
 from .cache import CellCache, code_salt, decode_payload, encode_payload
@@ -13,20 +15,40 @@ from .cli import add_campaign_args, campaign_argparser, engine_options
 from .engine import Campaign, CampaignError, CampaignStats, execute_cells
 from .runner import build_scheme, run_cell, run_parsec, run_synthetic
 from .spec import CellSpec, freeze_items
+from .supervisor import (
+    CampaignCheckpoint,
+    CellTimeoutError,
+    FailureReport,
+    QuarantinedCellError,
+    QuarantineLedger,
+    RetryPolicy,
+    WorkerCrashError,
+    classify_attempts,
+    error_signature,
+)
 
 __all__ = [
     "Campaign",
+    "CampaignCheckpoint",
     "CampaignError",
     "CampaignStats",
     "CellCache",
     "CellSpec",
+    "CellTimeoutError",
+    "FailureReport",
+    "QuarantineLedger",
+    "QuarantinedCellError",
+    "RetryPolicy",
+    "WorkerCrashError",
     "add_campaign_args",
     "build_scheme",
     "campaign_argparser",
+    "classify_attempts",
     "code_salt",
     "decode_payload",
     "encode_payload",
     "engine_options",
+    "error_signature",
     "execute_cells",
     "freeze_items",
     "run_cell",

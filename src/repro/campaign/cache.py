@@ -126,7 +126,13 @@ class CellCache:
             "spec": spec.canonical(),
             "payload": encode_payload(payload),
         }
-        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        # Per-key prefix: concurrent writers of the *same* entry each
+        # get a private temp file in the entry's own directory, and the
+        # final os.replace is atomic — last writer wins, readers only
+        # ever see a complete entry.
+        fd, tmp = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.name + ".", suffix=".tmp"
+        )
         try:
             with os.fdopen(fd, "w") as fh:
                 json.dump(doc, fh, indent=1)

@@ -39,6 +39,25 @@ def add_campaign_args(
         default=True,
         help="reuse cached cells (--no-resume recomputes and overwrites)",
     )
+    group.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-cell wall-clock budget in seconds (enforced via "
+        "process isolation; the offending worker is killed)",
+    )
+    group.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="total attempts per cell before it is quarantined "
+        "(identical failures twice in a row quarantine immediately)",
+    )
+    group.add_argument(
+        "--quarantine-dir",
+        default=None,
+        help="quarantine ledger directory (default: <cache-dir>/quarantine)",
+    )
     if suite_cache:
         group.add_argument(
             "--cache",
@@ -72,4 +91,7 @@ def engine_options(args: argparse.Namespace) -> dict:
         "workers": args.workers,
         "cache_dir": args.cache_dir,
         "resume": args.resume,
+        "timeout": args.timeout,
+        "max_retries": args.max_retries,
+        "quarantine_dir": args.quarantine_dir,
     }

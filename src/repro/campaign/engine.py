@@ -1,41 +1,64 @@
-"""Campaign execution: cache lookup, process-pool fan-out, retries.
+"""Campaign execution: cache lookup, supervised fan-out, recovery.
 
 ``execute_cells`` is the one code path every experiment goes through:
 
-1. each cell is looked up in the content-addressed cache (hits skip
-   simulation entirely, which is also what makes interrupted
-   campaigns resumable);
-2. misses run — inline for ``workers=1``, else on a
-   ``ProcessPoolExecutor`` (cells are independent and deterministic,
-   with seeds carried *inside* the spec, so fan-out cannot change
-   results, only wall-clock);
-3. a failed cell is retried (``SimulationError`` and its subclasses
-   only — the PR 1 typed hierarchy — so genuine bugs like ``KeyError``
-   still crash immediately);
-4. every step appends a structured event to a JSONL progress log.
+1. each cell is looked up in the content-addressed cache, then in the
+   campaign checkpoint (hits skip simulation entirely, which is also
+   what makes interrupted — even ``kill -9``'d — campaigns resumable);
+2. cells already condemned by the :class:`QuarantineLedger` are
+   reported as failed immediately instead of burning retries again;
+3. misses run under supervision — inline for ``workers=1`` without a
+   timeout, else on a ``ProcessPoolExecutor`` with a sliding
+   submission window.  The supervisor owns the retry loop (one
+   attempt per submission): per-cell wall-clock timeouts, detection
+   of worker death (``BrokenProcessPool`` from an OOM kill, segfault
+   or signal) with automatic pool respawn, exponential backoff with
+   deterministic jitter, and transient-vs-deterministic failure
+   classification — a cell failing twice with the identical signature
+   is quarantined, not re-run;
+4. completed payloads land in the cache and the periodic checkpoint;
+   every step appends a structured event to a JSONL progress log, and
+   failures produce structured reports carrying any post-mortem the
+   error captured.
 
 Results always come back in declared cell order regardless of
-completion order.
+completion order.  With ``failure_mode="raise"`` (the default) a
+campaign with failed cells finishes every *other* cell first — so the
+work is cached and resumable — then raises the first failure in
+declared order; ``failure_mode="continue"`` returns ``None`` for
+failed cells instead.
 """
 
 from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from ..noc.errors import SimulationError
-from .cache import CellCache, Payload
+from .cache import CellCache, Payload, code_salt
 from .runner import run_cell
 from .spec import CellSpec
+from .supervisor import (
+    CampaignCheckpoint,
+    CellTimeoutError,
+    FailureReport,
+    QuarantinedCellError,
+    QuarantineLedger,
+    RetryPolicy,
+    WorkerCrashError,
+    classify_attempts,
+    error_signature,
+)
 
 
 class CampaignError(RuntimeError):
-    """A cell exhausted its retries; carries the spec and the cause."""
+    """A cell failed for good; carries the spec and the cause."""
 
     def __init__(self, spec: CellSpec, cause: BaseException, attempts: int) -> None:
         self.spec = spec
@@ -54,6 +77,16 @@ class CampaignStats:
     hits: int = 0
     executed: int = 0
     retried: int = 0
+    #: Cells recovered from the campaign checkpoint (subset of hits).
+    restored: int = 0
+    #: Worker-pool deaths detected and survived (respawns).
+    crashes: int = 0
+    #: Cells killed for exceeding the wall-clock budget (attempt count).
+    timeouts: int = 0
+    #: Cells condemned to the quarantine ledger this run, plus cells
+    #: skipped because a previous run condemned them.
+    quarantined: int = 0
+    failed: int = 0
     elapsed: float = 0.0
 
     def as_dict(self) -> dict:
@@ -62,6 +95,11 @@ class CampaignStats:
             "hits": self.hits,
             "executed": self.executed,
             "retried": self.retried,
+            "restored": self.restored,
+            "crashes": self.crashes,
+            "timeouts": self.timeouts,
+            "quarantined": self.quarantined,
+            "failed": self.failed,
             "elapsed": round(self.elapsed, 3),
         }
 
@@ -103,9 +141,21 @@ def _cell_event(status: str, spec: CellSpec, **extra) -> dict:
     return event
 
 
+def _run_one(spec: CellSpec) -> Payload:
+    """Single-attempt worker entry point; top-level so it pickles onto
+    pool workers.  The retry loop lives supervisor-side now, so every
+    attempt is individually visible, classified and backed off."""
+    return run_cell(spec)
+
+
 def _attempt_cell(spec: CellSpec, retries: int) -> Tuple[Payload, int]:
-    """Run one cell with retry-on-``SimulationError``; top-level so it
-    pickles onto pool workers.  Returns ``(payload, attempts)``."""
+    """Run one cell with retry-on-``SimulationError``.
+
+    Kept as the minimal inline retry helper (and for callers/tests
+    that drive single cells); campaign execution goes through the
+    supervised single-attempt path instead.  Returns
+    ``(payload, attempts)``.
+    """
     attempts = 0
     while True:
         attempts += 1
@@ -116,10 +166,23 @@ def _attempt_cell(spec: CellSpec, retries: int) -> Tuple[Payload, int]:
                 raise
 
 
-def _attempts_made(exc: BaseException, retries: int) -> int:
-    """Attempts a failed cell consumed: only ``SimulationError`` is
-    retried, so anything else failed on the first try."""
-    return retries + 1 if isinstance(exc, SimulationError) else 1
+def _retryable(exc: BaseException) -> bool:
+    """Whether a failure is worth another attempt at all: typed
+    simulator errors and failures of the *machinery around* the cell
+    (worker death, timeout).  Anything else — ``KeyError`` and friends
+    — is a genuine bug and fails on the first observation."""
+    return isinstance(exc, (SimulationError, WorkerCrashError, CellTimeoutError))
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """Hard-kill every worker of ``pool`` (per-cell timeout enforcement;
+    the resulting ``BrokenProcessPool`` is handled by the supervisor)."""
+    processes = getattr(pool, "_processes", None) or {}
+    for process in list(processes.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
 
 
 def execute_cells(
@@ -129,18 +192,43 @@ def execute_cells(
     cache: Optional[CellCache] = None,
     resume: bool = True,
     retries: int = 1,
+    max_retries: Optional[int] = None,
+    timeout: Optional[float] = None,
+    quarantine: Optional[Union[QuarantineLedger, str, Path]] = None,
+    checkpoint: Optional[Union[CampaignCheckpoint, str, Path]] = None,
+    checkpoint_every: int = 4,
+    failure_mode: str = "raise",
     log_path: Optional[Union[str, Path]] = None,
     name: str = "campaign",
     on_result: Optional[Callable[[int, CellSpec, Payload, bool], None]] = None,
-) -> Tuple[List[Payload], CampaignStats]:
+) -> Tuple[List[Optional[Payload]], CampaignStats]:
     """Execute cells; return ``(payloads_in_declared_order, stats)``.
 
-    ``resume=False`` ignores cached entries (they are recomputed and
-    overwritten) while still writing fresh results.  ``on_result`` is
-    called as ``(index, spec, payload, was_hit)`` in completion order
-    — hits first, then runs as they finish.
+    ``max_retries`` is the total per-cell attempt budget (defaults to
+    the legacy ``retries + 1``).  ``timeout`` is a per-cell wall-clock
+    budget in seconds; enforcing it requires process isolation, so a
+    timeout forces the pool path even for ``workers=1``.
+    ``quarantine`` is a :class:`QuarantineLedger` (or its directory);
+    ``checkpoint`` a :class:`CampaignCheckpoint` (or its file path).
+    ``resume=False`` ignores cached/checkpointed entries (they are
+    recomputed and overwritten) while still writing fresh results.
+    ``on_result`` is called as ``(index, spec, payload, was_hit)`` in
+    completion order — hits first, then runs as they finish.
     """
+    if failure_mode not in ("raise", "continue"):
+        raise ValueError("failure_mode must be 'raise' or 'continue'")
     cells = list(cells)
+    budget = max_retries if max_retries is not None else retries + 1
+    policy = RetryPolicy(max_retries=budget, timeout=timeout)
+    if isinstance(quarantine, (str, Path)):
+        quarantine = QuarantineLedger(quarantine)
+    if isinstance(checkpoint, (str, Path)):
+        checkpoint = CampaignCheckpoint(
+            Path(checkpoint),
+            salt=cache.salt if cache is not None else code_salt(),
+            name=name,
+        )
+
     stats = CampaignStats(total=len(cells))
     log = _EventLog(log_path)
     log.emit(
@@ -151,93 +239,390 @@ def execute_cells(
             "workers": workers,
             "resume": resume,
             "salt": cache.salt if cache else None,
+            "max_retries": budget,
+            "timeout": timeout,
+            "quarantine": str(quarantine.root) if quarantine else None,
+            "checkpoint": str(checkpoint.path) if checkpoint else None,
         }
     )
     start = perf_counter()
     results: List[Optional[Payload]] = [None] * len(cells)
     done = [False] * len(cells)
+    failures: Dict[int, CampaignError] = {}
     pending: List[int] = []
+
+    keyed = cache is not None or quarantine is not None or checkpoint is not None
+    keys: Dict[int, str] = {}
+
+    def key_of(index: int) -> str:
+        key = keys.get(index)
+        if key is None:
+            salt = cache.salt if cache is not None else code_salt()
+            keys[index] = key = cells[index].cache_key(salt)
+        return key
+
+    if checkpoint is not None and resume:
+        checkpoint.load()
+
     try:
+        # ---- Phase 1: cache / checkpoint recovery --------------------
         for index, spec in enumerate(cells):
             payload = cache.get(spec) if (cache is not None and resume) else None
+            restored = False
+            if payload is None and checkpoint is not None and resume:
+                payload = checkpoint.get(key_of(index))
+                restored = payload is not None
+                if restored and cache is not None:
+                    cache.put(spec, payload)  # heal the cache
             if payload is not None:
                 results[index] = payload
                 done[index] = True
                 stats.hits += 1
-                log.emit(_cell_event("hit", spec, key=cache.key_for(spec)))
+                if restored:
+                    stats.restored += 1
+                if checkpoint is not None:
+                    checkpoint.record(key_of(index), payload)
+                log.emit(
+                    _cell_event(
+                        "restored" if restored else "hit",
+                        spec,
+                        key=key_of(index) if keyed else None,
+                    )
+                )
                 if on_result is not None:
                     on_result(index, spec, payload, True)
             else:
                 pending.append(index)
 
-        def _complete(index: int, payload: Payload, attempts: int, secs: float):
+        # ---- Phase 2: quarantine skip --------------------------------
+        runnable: List[int] = []
+        for index in pending:
+            if quarantine is not None and quarantine.is_quarantined(key_of(index)):
+                spec = cells[index]
+                entry = quarantine.entry_for(key_of(index)) or {}
+                exc = QuarantinedCellError(
+                    f"cell {spec.label} is quarantined "
+                    f"({entry.get('classification', 'unknown')}: "
+                    f"{entry.get('error', 'see ledger')}); remove "
+                    f"{quarantine.report_path(key_of(index))} to retry"
+                )
+                failures[index] = CampaignError(spec, exc, 0)
+                stats.quarantined += 1
+                stats.failed += 1
+                log.emit(
+                    _cell_event(
+                        "quarantined-skip", spec, key=key_of(index)
+                    )
+                )
+            else:
+                runnable.append(index)
+
+        attempts: Dict[int, int] = {index: 0 for index in runnable}
+        signatures: Dict[int, List[str]] = {index: [] for index in runnable}
+
+        def _complete(index: int, payload: Payload, secs: float) -> None:
+            attempts[index] += 1  # the successful attempt
             results[index] = payload
             done[index] = True
             stats.executed += 1
-            stats.retried += attempts - 1
+            stats.retried += attempts[index] - 1
             spec = cells[index]
             if cache is not None:
                 cache.put(spec, payload)
+            if checkpoint is not None:
+                checkpoint.record(key_of(index), payload)
+                if checkpoint.dirty >= checkpoint_every:
+                    checkpoint.flush()
+                    log.emit(
+                        {
+                            "event": "checkpoint",
+                            "name": name,
+                            "completed": len(checkpoint.entries),
+                        }
+                    )
             log.emit(
                 _cell_event(
                     "done",
                     spec,
-                    attempts=attempts,
+                    attempts=attempts[index],
                     elapsed=round(secs, 3),
-                    key=cache.key_for(spec) if cache else None,
+                    key=key_of(index) if keyed else None,
                 )
             )
             if on_result is not None:
                 on_result(index, spec, payload, False)
 
-        if workers > 1 and len(pending) > 1:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(_attempt_cell, cells[index], retries): (
-                        index,
-                        perf_counter(),
-                    )
-                    for index in pending
-                }
-                outstanding = set(futures)
-                while outstanding:
-                    finished, outstanding = wait(
-                        outstanding, return_when=FIRST_COMPLETED
-                    )
-                    for future in finished:
-                        index, t0 = futures[future]
-                        try:
-                            payload, attempts = future.result()
-                        except Exception as exc:
-                            for other in outstanding:
-                                other.cancel()
-                            log.emit(
-                                _cell_event(
-                                    "failed", cells[index], error=str(exc)
-                                )
-                            )
-                            raise CampaignError(
-                                cells[index], exc, _attempts_made(exc, retries)
-                            ) from exc
-                        _complete(index, payload, attempts, perf_counter() - t0)
+        def _fail(index: int, exc: BaseException, classification: str) -> None:
+            spec = cells[index]
+            stats.failed += 1
+            if quarantine is not None:
+                report = FailureReport.from_failure(
+                    spec,
+                    key_of(index),
+                    exc,
+                    attempts[index],
+                    signatures[index],
+                    classification,
+                )
+                quarantine.quarantine(report)
+                stats.quarantined += 1
+            log.emit(
+                _cell_event(
+                    "failed",
+                    spec,
+                    attempts=attempts[index],
+                    classification=classification,
+                    error=str(exc),
+                    key=key_of(index) if keyed else None,
+                )
+            )
+            failures[index] = CampaignError(spec, exc, attempts[index])
+
+        def _after_failure(index: int, exc: BaseException):
+            """Account one failed attempt; returns ``("fail", cls)`` or
+            ``("retry", delay_seconds)``."""
+            signatures[index].append(error_signature(exc))
+            attempts[index] += 1
+            if not _retryable(exc):
+                return ("fail", "fatal")
+            classification = classify_attempts(signatures[index])
+            if classification == "deterministic":
+                return ("fail", "deterministic")
+            if attempts[index] >= budget:
+                return ("fail", "exhausted")
+            jitter_key = key_of(index) if keyed else cells[index].canonical_json()
+            delay = policy.delay_before(attempts[index] + 1, jitter_key)
+            log.emit(
+                _cell_event(
+                    "retry",
+                    cells[index],
+                    attempts=attempts[index],
+                    error=str(exc),
+                    delay=round(delay, 3),
+                )
+            )
+            return ("retry", delay)
+
+        # ---- Phase 3: supervised execution ---------------------------
+        use_pool = bool(runnable) and (
+            (workers > 1 and len(runnable) > 1) or timeout is not None
+        )
+        if use_pool:
+            _supervise_pool(
+                cells,
+                runnable,
+                workers=max(1, workers),
+                timeout=timeout,
+                stats=stats,
+                log=log,
+                name=name,
+                after_failure=_after_failure,
+                complete=_complete,
+                fail=_fail,
+            )
         else:
-            for index in pending:
+            for index in runnable:
                 t0 = perf_counter()
-                try:
-                    payload, attempts = _attempt_cell(cells[index], retries)
-                except Exception as exc:
-                    log.emit(_cell_event("failed", cells[index], error=str(exc)))
-                    raise CampaignError(
-                        cells[index], exc, _attempts_made(exc, retries)
-                    ) from exc
-                _complete(index, payload, attempts, perf_counter() - t0)
+                spec = cells[index]
+                while True:
+                    try:
+                        payload = run_cell(spec)
+                    except Exception as exc:
+                        verdict, extra = _after_failure(index, exc)
+                        if verdict == "fail":
+                            _fail(index, exc, extra)
+                            break
+                        time.sleep(extra)
+                        continue
+                    _complete(index, payload, perf_counter() - t0)
+                    break
 
         stats.elapsed = perf_counter() - start
+        if checkpoint is not None:
+            checkpoint.flush()
         log.emit({"event": "campaign-end", "name": name, **stats.as_dict()})
-        assert all(done)
+        assert all(done[i] or i in failures for i in range(len(cells)))
+        if failures and failure_mode == "raise":
+            raise failures[min(failures)]
         return list(results), stats
     finally:
         log.close()
+
+
+def _supervise_pool(
+    cells: List[CellSpec],
+    runnable: List[int],
+    *,
+    workers: int,
+    timeout: Optional[float],
+    stats: CampaignStats,
+    log: _EventLog,
+    name: str,
+    after_failure,
+    complete,
+    fail,
+) -> None:
+    """The supervised process-pool loop.
+
+    Submissions are single attempts through a sliding window of at
+    most ``workers`` in-flight futures (so a wall-clock deadline
+    measured from submission is a faithful per-cell budget).  Worker
+    death breaks every in-flight future; the supervisor charges the
+    attempt only to the cells that were actually *running* (the likely
+    culprits), resubmits the queued innocents for free, and respawns
+    the pool.  A timed-out cell is killed by killing the whole pool —
+    the only portable lever — and classified ``timeout`` rather than
+    ``worker-crash``.
+    """
+    pool = ProcessPoolExecutor(max_workers=workers)
+    inflight: Dict[Future, int] = {}
+    started: Dict[Future, float] = {}
+    deadlines: Dict[Future, float] = {}
+    first_start: Dict[int, float] = {}
+    #: (ready_at, index) retry/backlog queue, consumed in order.
+    waiting: List[Tuple[float, int]] = [(0.0, index) for index in runnable]
+    timed_out: Set[int] = set()
+    running_snapshot: Set[Future] = set()
+
+    def respawn() -> None:
+        nonlocal pool
+        pool.shutdown(wait=False)
+        pool = ProcessPoolExecutor(max_workers=workers)
+
+    def submit(index: int) -> None:
+        nonlocal pool
+        for _ in range(2):
+            try:
+                future = pool.submit(_run_one, cells[index])
+            except BrokenProcessPool:
+                respawn()
+                continue
+            now = perf_counter()
+            inflight[future] = index
+            started[future] = now
+            first_start.setdefault(index, now)
+            if timeout is not None:
+                deadlines[future] = now + timeout
+            return
+        raise RuntimeError("process pool kept breaking on submit")
+
+    def handle_outcome(future: Future, index: int, exc: Optional[BaseException],
+                       payload) -> None:
+        timed_out.discard(index)
+        if exc is None:
+            complete(index, payload, perf_counter() - first_start[index])
+            return
+        verdict, extra = after_failure(index, exc)
+        if verdict == "fail":
+            fail(index, exc, extra)
+        else:
+            waiting.append((perf_counter() + extra, index))
+
+    try:
+        while inflight or waiting:
+            now = perf_counter()
+            if waiting and len(inflight) < workers:
+                still_waiting: List[Tuple[float, int]] = []
+                for ready_at, index in waiting:
+                    if len(inflight) < workers and ready_at <= now:
+                        submit(index)
+                    else:
+                        still_waiting.append((ready_at, index))
+                waiting = still_waiting
+            if not inflight:
+                next_ready = min(ready_at for ready_at, _ in waiting)
+                time.sleep(min(max(0.0, next_ready - now), 0.25))
+                continue
+
+            running_snapshot = {f for f in inflight if f.running()}
+            wait_timeout = None
+            if deadlines:
+                wait_timeout = max(0.01, min(deadlines.values()) - now)
+            if waiting:
+                next_ready = max(0.01, min(r for r, _ in waiting) - now)
+                wait_timeout = (
+                    next_ready
+                    if wait_timeout is None
+                    else min(wait_timeout, next_ready)
+                )
+            finished, _ = wait(
+                list(inflight), timeout=wait_timeout, return_when=FIRST_COMPLETED
+            )
+
+            if timeout is not None and not finished:
+                now = perf_counter()
+                expired = [
+                    future
+                    for future, deadline in deadlines.items()
+                    if deadline <= now and not future.done()
+                ]
+                if expired:
+                    for future in expired:
+                        timed_out.add(inflight[future])
+                        stats.timeouts += 1
+                    log.emit(
+                        {
+                            "event": "timeout-kill",
+                            "name": name,
+                            "cells": [
+                                cells[inflight[f]].label for f in expired
+                            ],
+                        }
+                    )
+                    running_snapshot = {f for f in inflight if f.running()}
+                    running_snapshot.update(expired)
+                    _kill_pool_workers(pool)
+                continue
+
+            victims: Optional[Dict[Future, int]] = None
+            for future in finished:
+                if victims is not None:
+                    break
+                index = inflight.pop(future)
+                started.pop(future, None)
+                deadlines.pop(future, None)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool:
+                    victims = {future: index}
+                    victims.update(inflight)
+                    inflight.clear()
+                    started.clear()
+                    deadlines.clear()
+                except Exception as exc:
+                    handle_outcome(future, index, exc, None)
+                else:
+                    handle_outcome(future, index, None, payload)
+
+            if victims is not None:
+                stats.crashes += 1
+                log.emit(
+                    {
+                        "event": "pool-respawn",
+                        "name": name,
+                        "victims": [cells[i].label for i in victims.values()],
+                    }
+                )
+                now = perf_counter()
+                for future, index in victims.items():
+                    if index in timed_out:
+                        exc: BaseException = CellTimeoutError(
+                            f"cell exceeded its {timeout:.3f}s wall-clock budget"
+                        )
+                        handle_outcome(future, index, exc, None)
+                    elif future in running_snapshot:
+                        exc = WorkerCrashError(
+                            "worker process died mid-cell "
+                            "(killed, out-of-memory, or crashed)"
+                        )
+                        handle_outcome(future, index, exc, None)
+                    else:
+                        # Queued innocent: resubmit without charging an
+                        # attempt.
+                        waiting.append((now, index))
+                respawn()
+    finally:
+        pool.shutdown(wait=False)
 
 
 @dataclass
@@ -248,6 +633,11 @@ class Campaign:
     returns ``reducer(payloads)`` (or the raw payload list).  The
     stats of the latest run are kept on ``last_stats`` so callers —
     and the CI cache-hit smoke check — can assert hit/run counts.
+
+    With a ``cache_dir``, the supervision artifacts land beside the
+    cell cache by default: the JSONL event log, the campaign
+    checkpoint, and the quarantine ledger (under
+    ``<cache_dir>/quarantine``).
     """
 
     name: str
@@ -265,23 +655,49 @@ class Campaign:
         cache_dir: Optional[Union[str, Path]] = None,
         resume: bool = True,
         retries: int = 1,
+        max_retries: Optional[int] = None,
+        timeout: Optional[float] = None,
+        quarantine_dir: Optional[Union[str, Path]] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 4,
+        failure_mode: str = "raise",
         log_path: Optional[Union[str, Path]] = None,
         on_result: Optional[Callable] = None,
     ):
         cache = None
         if cache_dir is not None:
             cache = CellCache(cache_dir)
+            safe = "".join(
+                c if c.isalnum() or c in "-_" else "-" for c in self.name
+            )
             if log_path is None:
-                safe = "".join(
-                    c if c.isalnum() or c in "-_" else "-" for c in self.name
-                )
                 log_path = Path(cache_dir) / f"{safe}.events.jsonl"
+            if checkpoint_path is None:
+                checkpoint_path = Path(cache_dir) / f"{safe}.checkpoint.json"
+            if quarantine_dir is None:
+                quarantine_dir = Path(cache_dir) / "quarantine"
+        quarantine = (
+            QuarantineLedger(quarantine_dir) if quarantine_dir is not None else None
+        )
+        checkpoint = None
+        if checkpoint_path is not None:
+            checkpoint = CampaignCheckpoint(
+                Path(checkpoint_path),
+                salt=cache.salt if cache is not None else code_salt(),
+                name=self.name,
+            )
         payloads, stats = execute_cells(
             self.cells,
             workers=workers,
             cache=cache,
             resume=resume,
             retries=retries,
+            max_retries=max_retries,
+            timeout=timeout,
+            quarantine=quarantine,
+            checkpoint=checkpoint,
+            checkpoint_every=checkpoint_every,
+            failure_mode=failure_mode,
             log_path=log_path,
             name=self.name,
             on_result=on_result,

@@ -17,6 +17,7 @@ from ..experiments.common import (
     make_scheme,
 )
 from ..noc import Network, NoCConfig
+from ..noc.packet import reset_packet_ids
 from ..power import EnergyModel
 from ..system import Chip, get_profile
 from ..traffic import SyntheticTraffic
@@ -249,5 +250,23 @@ _RUNNERS = {
 
 
 def run_cell(spec: CellSpec):
-    """Execute one cell and return its payload."""
-    return _RUNNERS[spec.kind](spec)
+    """Execute one cell and return its payload.
+
+    Simulator failures get the cell's identity attached as an
+    exception note, so a traceback that crosses a process-pool
+    boundary (or lands in a quarantine report) still says which cell
+    died without the supervisor having to reconstruct it.
+    """
+    try:
+        runner = _RUNNERS[spec.kind]
+    except KeyError:
+        raise ValueError(f"unknown cell kind {spec.kind!r}") from None
+    # Packet IDs restart per cell so a retried attempt is bit-identical
+    # to the first — error messages embed packet IDs, and the
+    # deterministic-failure classifier compares them verbatim.
+    reset_packet_ids()
+    try:
+        return runner(spec)
+    except Exception as exc:
+        exc.add_note(f"cell: {spec.label} (kind={spec.kind}, seed={spec.seed})")
+        raise

@@ -21,6 +21,13 @@ where it stopped::
     python -m repro.cli all --out results/ --workers 4
     python -m repro.cli all --out results/ --workers 4   # warm: 0 cells re-run
 
+Execution is supervised (``docs/resilience.md``): ``--timeout SECS``
+bounds each cell's wall clock, ``--max-retries N`` caps attempts
+before a cell is quarantined, and ``--quarantine-dir`` relocates the
+persistent quarantine ledger (default: ``<cache-dir>/quarantine``).
+Worker crashes (OOM kills, segfaults) are isolated and the pool is
+respawned; a ``kill -9``'d campaign resumes from its checkpoint.
+
 Robustness flags (before the command; see ``docs/fault_model.md``)::
 
     python -m repro.cli --strict-invariants headline
@@ -87,6 +94,12 @@ def _run_all(argv: Sequence[str]) -> None:
     engine_flags = ["--workers", str(args.workers), "--cache-dir", cache_dir]
     if not args.resume:
         engine_flags.append("--no-resume")
+    # Supervision flags propagate to every sub-command of the full run.
+    if args.timeout is not None:
+        engine_flags += ["--timeout", str(args.timeout)]
+    engine_flags += ["--max-retries", str(args.max_retries)]
+    if args.quarantine_dir is not None:
+        engine_flags += ["--quarantine-dir", args.quarantine_dir]
     parsec_suite.main(
         ["--out", cache, "--instructions", str(args.instructions)] + engine_flags
     )

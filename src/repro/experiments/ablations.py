@@ -53,13 +53,11 @@ def _metrics_cell(
 def _run_keyed(
     name: str,
     keyed_cells: Sequence[Tuple[object, CellSpec]],
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    resume: bool = True,
+    **engine,
 ) -> List[Tuple[object, dict]]:
     """Run cells and re-attach each sweep's key to its payload."""
     campaign = Campaign(name=name, cells=tuple(cell for _, cell in keyed_cells))
-    payloads = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    payloads = campaign.run(**engine)
     return [(key, payload) for (key, _), payload in zip(keyed_cells, payloads)]
 
 

@@ -46,13 +46,11 @@ def run_comparison(
     measurement: int = 5000,
     seed: int = 7,
     verbose: bool = True,
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    resume: bool = True,
+    **engine,
 ) -> List[Tuple[str, dict]]:
     """Run the four schemes on uniform-random traffic at one load."""
     campaign = comparison_campaign(load=load, measurement=measurement, seed=seed)
-    payloads = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    payloads = campaign.run(**engine)
     results = list(zip(_SCHEMES, payloads))
     if verbose:
         for name, row in results:

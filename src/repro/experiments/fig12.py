@@ -62,15 +62,13 @@ def run_sweep(
     measurement: int = 5000,
     schemes: Sequence[str] = tuple(_SCHEMES),
     verbose: bool = True,
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    resume: bool = True,
+    **engine,
 ) -> List[RunRecord]:
     """Sweep one traffic pattern across loads for the Fig. 12 schemes."""
     campaign = sweep_campaign(
         pattern, loads, warmup=warmup, measurement=measurement, schemes=schemes
     )
-    records = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    records = campaign.run(**engine)
     if verbose:
         for record in records:
             load = float(record.workload.split("@")[1])

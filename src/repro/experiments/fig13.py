@@ -71,15 +71,13 @@ def run_sensitivity(
     punch_hops: int = 3,
     measurement: int = 5000,
     verbose: bool = True,
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    resume: bool = True,
+    **engine,
 ) -> List[Tuple[int, int, str, RunRecord]]:
     """Run the (pipeline, Twakeup) sensitivity grid of Fig. 13."""
     campaign = sensitivity_campaign(
         points, load=load, punch_hops=punch_hops, measurement=measurement
     )
-    records = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    records = campaign.run(**engine)
     keys = [
         (stages, twakeup, scheme)
         for stages, twakeup in points

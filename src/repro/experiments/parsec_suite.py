@@ -49,20 +49,21 @@ def run_suite(
     instructions: int = CANONICAL_INSTRUCTIONS,
     seed: int = 1,
     verbose: bool = True,
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    resume: bool = True,
+    **engine,
 ) -> List[RunRecord]:
     """Run the benchmark x scheme matrix through the campaign engine.
 
     Every cell is independent and carries its own seed, so with
     ``workers > 1`` the matrix fans out over a process pool; results
-    come back in the same benchmark-major order either way.
+    come back in the same benchmark-major order either way.  Extra
+    keyword arguments (``workers``, ``cache_dir``, ``resume``,
+    ``timeout``, ``max_retries``, ``quarantine_dir``, ...) go straight
+    to :meth:`repro.campaign.Campaign.run`.
     """
     campaign = suite_campaign(
         benchmarks=benchmarks, schemes=schemes, instructions=instructions, seed=seed
     )
-    records = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    records = campaign.run(**engine)
     if verbose:
         for record in records:
             print(
@@ -80,9 +81,7 @@ def suite_records(
     instructions: int = CANONICAL_INSTRUCTIONS,
     benchmarks: Optional[Sequence[str]] = None,
     verbose: bool = True,
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    resume: bool = True,
+    **engine,
 ) -> List[RunRecord]:
     """Load records from the suite JSON if possible, else run and store.
 
@@ -99,9 +98,7 @@ def suite_records(
         benchmarks=benchmarks,
         instructions=instructions,
         verbose=verbose,
-        workers=workers,
-        cache_dir=cache_dir,
-        resume=resume,
+        **engine,
     )
     if cache:
         save_records(records, cache)

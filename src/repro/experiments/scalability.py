@@ -44,13 +44,11 @@ def run_scalability(
     load: float = 0.01,
     measurement: int = 4000,
     verbose: bool = True,
-    workers: int = 1,
-    cache_dir: Optional[str] = None,
-    resume: bool = True,
+    **engine,
 ) -> List[Tuple[int, str, RunRecord]]:
     """Run the mesh-size sweep of Sec. 6.6(2)."""
     campaign = scalability_campaign(sizes, load=load, measurement=measurement)
-    records = campaign.run(workers=workers, cache_dir=cache_dir, resume=resume)
+    records = campaign.run(**engine)
     keys = [(size, scheme) for size in sizes for scheme in _SCHEMES]
     results = [
         (size, scheme, record)

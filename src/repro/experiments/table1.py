@@ -88,12 +88,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     args = parser.parse_args(argv)
     campaign = table1_campaign(width=args.width, hops=args.hops, router=args.router)
     engine = engine_options(args)
-    print(
-        campaign.run(
-            cache_dir=engine["cache_dir"],
-            resume=engine["resume"],
-        )
-    )
+    engine.pop("workers")  # a single analysis cell never needs a pool
+    print(campaign.run(**engine))
 
 
 if __name__ == "__main__":

@@ -4,6 +4,7 @@ from .config import NoCConfig
 from .errors import (
     BufferOverflowError,
     DeadlockError,
+    DegradedNetworkError,
     DrainTimeoutError,
     FaultSpecError,
     InvariantViolation,
@@ -36,7 +37,7 @@ from .packet import (
 from .policy import AlwaysOnPolicy, PowerPolicy
 from .router import Router
 from .routing import XYRouting
-from .stats import NetworkStats
+from .stats import DroppedPacket, NetworkStats
 from .topology import ALL_DIRECTIONS, MESH_DIRECTIONS, Direction, MeshTopology
 
 __all__ = [
@@ -46,8 +47,10 @@ __all__ = [
     "CONTROL_PACKET_FLITS",
     "DATA_PACKET_FLITS",
     "DeadlockError",
+    "DegradedNetworkError",
     "Direction",
     "DrainTimeoutError",
+    "DroppedPacket",
     "FAULT_KINDS",
     "FaultEvent",
     "FaultInjector",

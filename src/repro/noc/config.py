@@ -44,12 +44,28 @@ class NoCConfig:
     #: every cycle.  Both are cycle-exact — the naive kernel is kept as
     #: the reference for equivalence tests and benchmarks.
     kernel: str = "active"
+    #: Graceful degradation under permanent router faults (see
+    #: ``docs/fault_model.md``): ``"none"`` leaves a permanently
+    #: stalled router to the deadlock watchdog; ``"drop"`` purges the
+    #: packets blocked behind a dead router (accounted as
+    #: ``DroppedPacket`` stats) and keeps the rest of the mesh live;
+    #: ``"fail_fast"`` raises ``DegradedNetworkError`` with the blast
+    #: radius the moment a router is declared dead.
+    degradation: str = "none"
+    #: Cycles a ``router_stall`` fault window must stay continuously
+    #: open before the router is declared permanently dead (only
+    #: consulted when ``degradation`` is not ``"none"``).
+    dead_router_threshold: int = 1000
 
     def __post_init__(self) -> None:
         if self.router_stages not in (3, 4):
             raise ValueError("router_stages must be 3 or 4")
         if self.kernel not in ("active", "naive"):
             raise ValueError("kernel must be 'active' or 'naive'")
+        if self.degradation not in ("none", "drop", "fail_fast"):
+            raise ValueError("degradation must be 'none', 'drop' or 'fail_fast'")
+        if self.dead_router_threshold < 1:
+            raise ValueError("dead_router_threshold must be positive")
         if self.vcs_per_vnet < 1:
             raise ValueError("need at least one VC per virtual network")
         if self.link_latency != 1:

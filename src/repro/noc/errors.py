@@ -24,8 +24,20 @@ working.
   (see :mod:`repro.noc.invariants`).
 * :class:`DeadlockError` — the deadlock/livelock watchdog tripped;
   carries a structured :class:`~repro.noc.invariants.PostMortem`.
+* :class:`DegradedNetworkError` — the graceful-degradation policy
+  declared a router permanently dead and failed fast; carries the
+  blast radius (dead routers + affected packets).
 * :class:`FaultSpecError` — a fault-schedule specification could not
   be parsed (a :class:`ValueError`, since it is a config problem).
+
+Every class in the hierarchy pickles faithfully: campaign cells run on
+process-pool workers, and an exception whose ``__init__`` signature
+does not match its ``args`` (e.g. ``InvariantViolation``) would
+otherwise fail to unpickle on the way back to the parent — which
+``concurrent.futures`` surfaces as a ``BrokenProcessPool``, taking the
+whole campaign down with it.  ``__reduce__`` below rebuilds instances
+from their full ``__dict__`` instead, so structured context (including
+post-mortems) survives the trip.
 """
 
 from __future__ import annotations
@@ -33,8 +45,19 @@ from __future__ import annotations
 from typing import Optional
 
 
+def _rebuild_error(cls, args, state):
+    """Unpickle helper: restore an error without re-running __init__."""
+    error = cls.__new__(cls)
+    Exception.__init__(error, *args)
+    error.__dict__.update(state)
+    return error
+
+
 class SimulationError(RuntimeError):
     """Fatal simulator condition with structured location context."""
+
+    def __reduce__(self):
+        return (_rebuild_error, (type(self), self.args, self.__dict__.copy()))
 
     def __init__(
         self,
@@ -114,6 +137,31 @@ class DeadlockError(InvariantViolation):
         if self.post_mortem is None:
             return base
         return f"{base}\n{self.post_mortem.render()}"
+
+
+class DegradedNetworkError(SimulationError):
+    """A router was declared permanently dead under ``fail_fast``.
+
+    Carries the blast radius: ``dead_routers`` (every router currently
+    declared dead) and ``affected_packets`` (ids of live packets whose
+    remaining route crosses a dead router at declaration time).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        dead_routers=(),
+        affected_packets=(),
+        **context,
+    ) -> None:
+        self.dead_routers = tuple(dead_routers)
+        self.affected_packets = tuple(affected_packets)
+        radius = (
+            f" [dead_routers={list(self.dead_routers)} "
+            f"affected_packets={len(self.affected_packets)}]"
+        )
+        super().__init__(message + radius, **context)
 
 
 class FaultSpecError(ValueError):

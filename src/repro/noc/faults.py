@@ -250,6 +250,25 @@ class FaultInjector:
             return True
         return False
 
+    def dead_routers(self, cycle: int, threshold: int) -> List[int]:
+        """Routers whose stall window has been open ``>= threshold`` cycles.
+
+        This is the permanent-fault detector behind the graceful-
+        degradation policy (``NoCConfig.degradation``): a
+        ``router_stall`` that has frozen one specific router
+        continuously for ``threshold`` cycles is no longer a transient
+        glitch, it is a dead router.  Wildcard stalls (``router=None``
+        freezes the whole mesh) are never promoted to deaths — there is
+        no network left to degrade gracefully to.
+        """
+        dead: Dict[int, None] = {}
+        for spec in self.schedule.specs:
+            if spec.kind != "router_stall" or spec.router is None:
+                continue
+            if spec.active_at(cycle) and cycle - spec.start >= threshold:
+                dead[spec.router] = None
+        return sorted(dead)
+
     def drop_credit(self, router: int, direction, vc: int, cycle: int) -> bool:
         """Whether the credit arriving at ``router`` is lost."""
         spec = self._roll("credit_drop", router, cycle)

@@ -131,6 +131,9 @@ class InvariantChecker:
         # Flit accounting (conservation check).
         self.flits_sent = 0
         self.flits_ejected = 0
+        #: Flits removed from the mesh by the graceful-degradation
+        #: purge — a third, accounted way for a sent flit to leave.
+        self.flits_dropped = 0
         self.corrupted_arrivals = 0
         self.checks_run = 0
 
@@ -191,6 +194,19 @@ class InvariantChecker:
         """A flit left the mesh through an NI."""
         self.flits_ejected += 1
 
+    def on_flit_dropped(self, flit: "Flit", cycle: int) -> None:
+        """A sent flit was purged by the graceful-degradation policy."""
+        self.flits_dropped += 1
+
+    def on_packet_dropped(self, packet: "Packet", cycle: int) -> None:
+        """A packet was dropped whole: it will never be delivered, so it
+        leaves the live set (and the watchdog's jurisdiction)."""
+        self.live.pop(packet.packet_id, None)
+        self.ring.record(
+            cycle, "dropped", packet.source,
+            f"->{packet.destination}", packet.packet_id,
+        )
+
     def on_cycle_end(self, cycle: int) -> None:
         """Interval checks + watchdog; called once per simulated cycle."""
         if cycle % self.check_interval:
@@ -206,7 +222,7 @@ class InvariantChecker:
     # The invariants
     # ------------------------------------------------------------------
     def check_flit_conservation(self, cycle: int) -> None:
-        """sent == buffered + flying + ejecting + ejected."""
+        """sent == buffered + flying + ejecting + ejected + dropped."""
         network = self.network
         buffered = sum(
             vc.occupancy for router in network.routers for vc in router._occupied
@@ -214,12 +230,13 @@ class InvariantChecker:
         flying = sum(len(v) for v in network._flit_events.values())
         ejecting = sum(len(v) for v in network._eject_events.values())
         in_system = buffered + flying + ejecting
-        expected = self.flits_sent - self.flits_ejected
+        expected = self.flits_sent - self.flits_ejected - self.flits_dropped
         if in_system != expected:
             self._violation(
                 InvariantViolation(
                     "flit-conservation",
-                    f"{self.flits_sent} sent - {self.flits_ejected} ejected = "
+                    f"{self.flits_sent} sent - {self.flits_ejected} ejected - "
+                    f"{self.flits_dropped} dropped = "
                     f"{expected} expected in system, found {in_system} "
                     f"(buffered={buffered} flying={flying} ejecting={ejecting})",
                     cycle=cycle,

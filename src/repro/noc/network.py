@@ -42,8 +42,9 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import TYPE_CHECKING, Callable, DefaultDict, Dict, List, Optional, Set, Tuple
 
+from .buffers import VCState
 from .config import NoCConfig
-from .errors import DrainTimeoutError, TopologyError
+from .errors import DegradedNetworkError, DrainTimeoutError, TopologyError
 from .faults import FaultInjector, FaultSchedule, ambient_config
 from .network_interface import NetworkInterface
 from .packet import Flit, Packet
@@ -123,6 +124,13 @@ class Network:
         #: Optional robustness layer (see install_faults / install_invariants).
         self.faults: Optional[FaultInjector] = None
         self.invariants: Optional["InvariantChecker"] = None
+        #: Graceful-degradation state (see _check_degradation): routers
+        #: declared permanently dead, and a memo of which (start, dest)
+        #: XY walks cross one (cleared whenever the dead set grows).
+        self.dead_routers: Set[int] = set()
+        self._degradation = config.degradation
+        self._dead_threshold = config.dead_router_threshold
+        self._route_crosses_dead: Dict[Tuple[int, int], bool] = {}
         # Context for the bound-method SA sinks (see _run_switch_allocation).
         self._sa_router: Optional[Router] = None
         self._sa_cycle = 0
@@ -167,6 +175,19 @@ class Network:
     # ------------------------------------------------------------------
     def inject(self, packet: Packet) -> None:
         """Hand a freshly created message to its source NI this cycle."""
+        if (
+            self.dead_routers
+            and self._degradation == "drop"
+            and self._crosses_dead(packet.source, packet.destination)
+        ):
+            # The packet would wedge behind a dead router; drop it at
+            # the door with full accounting instead of letting it (and
+            # everything behind it) pile up until the watchdog fires.
+            packet.created_at = self.cycle
+            self.stats.record_drop(packet, self.cycle, self.dead_routers)
+            if self.invariants is not None:
+                self.invariants.on_packet_dropped(packet, self.cycle)
+            return
         self.interfaces[packet.source].enqueue(packet, self.cycle)
         self.stats.record_injection(packet)
         if self.invariants is not None:
@@ -258,6 +279,8 @@ class Network:
     def step(self) -> None:
         """Advance one cycle (see module docstring for phase order)."""
         cycle = self.cycle
+        if self._degradation != "none" and self.faults is not None:
+            self._check_degradation(cycle)
         self._deliver_flits(cycle)
         self._deliver_credits(cycle)
         self.policy.begin_cycle(cycle)
@@ -467,4 +490,236 @@ class Network:
         self.policy.note_blocked(
             self._sa_router.router_id, neighbor, packet, self._sa_cycle
         )
+
+    # ------------------------------------------------------------------
+    # Graceful degradation under permanent faults
+    # ------------------------------------------------------------------
+    def _crosses_dead(self, start: int, dest: int) -> bool:
+        """Whether the XY walk ``start -> dest`` touches a dead router."""
+        key = (start, dest)
+        hit = self._route_crosses_dead.get(key)
+        if hit is None:
+            dead = self.dead_routers
+            hit = start in dead
+            node = start
+            while not hit and node != dest:
+                node = self.routing.next_hop(node, dest)
+                hit = node in dead
+            self._route_crosses_dead[key] = hit
+        return hit
+
+    def _check_degradation(self, cycle: int) -> None:
+        """Declare routers dead and apply the configured policy.
+
+        A router is dead once its ``router_stall`` fault window has
+        been continuously open for ``dead_router_threshold`` cycles
+        (see :meth:`FaultInjector.dead_routers`).  ``fail_fast`` raises
+        :class:`DegradedNetworkError` carrying the blast radius;
+        ``drop`` purges every packet whose remaining route crosses a
+        dead router — with full credit/ownership restoration, so the
+        strict invariant checker stays green — and keeps the rest of
+        the mesh live.
+        """
+        newly = [
+            rid
+            for rid in self.faults.dead_routers(cycle, self._dead_threshold)
+            if rid not in self.dead_routers
+        ]
+        if not newly:
+            return
+        self.dead_routers.update(newly)
+        self._route_crosses_dead.clear()
+        ring = self.invariants.ring if self.invariants is not None else self.faults.ring
+        if ring is not None:
+            for rid in newly:
+                ring.record(
+                    cycle, "router-dead", rid,
+                    f"stalled >= {self._dead_threshold} cycles",
+                )
+        doomed = self._blast_radius()
+        if self._degradation == "fail_fast":
+            raise DegradedNetworkError(
+                f"router(s) {newly} declared permanently dead after "
+                f"{self._dead_threshold} continuously stalled cycles",
+                dead_routers=sorted(self.dead_routers),
+                affected_packets=sorted(doomed),
+                cycle=cycle,
+                router=newly[0],
+            )
+        if doomed:
+            self._purge_doomed(doomed, cycle)
+
+    def _blast_radius(self) -> Dict[int, Packet]:
+        """Live packets whose remaining route crosses a dead router.
+
+        A packet's remaining route is evaluated from every location one
+        of its flits currently occupies (NI queue/stream, router
+        buffer, or link in flight); flits already queued for ejection
+        have cleared every router and contribute nothing.
+        """
+        doomed: Dict[int, Packet] = {}
+
+        def doom(packet: Packet, at: int) -> None:
+            if packet.packet_id not in doomed and self._crosses_dead(
+                at, packet.destination
+            ):
+                doomed[packet.packet_id] = packet
+
+        for ni in self.interfaces:
+            for queue in ni.queues:
+                for packet in queue:
+                    doom(packet, ni.node)
+            for stream in ni.streams.values():
+                doom(stream.packet, ni.node)
+        for router in self.routers:
+            for vc in router._occupied:
+                for flit in vc.flits:
+                    doom(flit.packet, router.router_id)
+        for events in self._flit_events.values():
+            for router_id, _direction, _vc, flit in events:
+                doom(flit.packet, router_id)
+        return doomed
+
+    def _restore_upstream_credit(
+        self, router: Router, direction: Direction, vc_index: int
+    ) -> None:
+        """Give back the buffer slot a purged flit held (or was flying
+        toward) on ``router``'s ``direction`` input, to whoever spent
+        the credit: the local NI or the upstream router's output port."""
+        if direction is Direction.LOCAL:
+            self.interfaces[router.router_id].credits[vc_index] += 1
+            return
+        upstream = router.connected[direction]
+        if upstream is None:
+            raise TopologyError(
+                "purged flit held a slot fed from a mesh edge with no neighbor",
+                router=router.router_id, port=direction, vc=vc_index,
+            )
+        self.routers[upstream].output_ports[direction.opposite].credits[
+            vc_index
+        ] += 1
+
+    def _purge_doomed(self, doomed: Dict[int, Packet], cycle: int) -> None:
+        """Remove every trace of the doomed packets, conservatively
+        restoring credits, VC state and downstream ownership so the
+        surviving traffic (and the invariant checker) see a consistent
+        network."""
+        invariants = self.invariants
+        pre_busy = [
+            bool(router._occupied) or router.incoming_in_flight > 0
+            for router in self.routers
+        ]
+        # NI queues, streams and pending injection checks.
+        for ni in self.interfaces:
+            for queue in ni.queues:
+                if any(p.packet_id in doomed for p in queue):
+                    kept = [p for p in queue if p.packet_id not in doomed]
+                    queue.clear()
+                    queue.extend(kept)
+            for vc_index in [
+                v for v, s in ni.streams.items() if s.packet.packet_id in doomed
+            ]:
+                del ni.streams[vc_index]
+            ni._checked -= doomed.keys()
+        # Flits in flight on links: unwind the in-flight count and give
+        # the never-to-be-occupied slot's credit back to the sender.
+        for when in list(self._flit_events):
+            kept_events = []
+            for router_id, direction, vc_index, flit in self._flit_events[when]:
+                if flit.packet.packet_id in doomed:
+                    router = self.routers[router_id]
+                    router.incoming_in_flight -= 1
+                    self._restore_upstream_credit(router, direction, vc_index)
+                    if invariants is not None:
+                        invariants.on_flit_dropped(flit, cycle)
+                else:
+                    kept_events.append((router_id, direction, vc_index, flit))
+            if kept_events:
+                self._flit_events[when] = kept_events
+            else:
+                del self._flit_events[when]
+        # Buffered flits: filter each touched VC, restore one upstream
+        # credit per removed flit, and release the allocation state the
+        # doomed front packet held.
+        for router in self.routers:
+            touched = [
+                vc
+                for vc in router._occupied
+                if any(f.packet.packet_id in doomed for f in vc.flits)
+            ]
+            for vc in touched:
+                front_doomed = vc.flits[0].packet.packet_id in doomed
+                kept_pairs = []
+                for flit, arrival in zip(vc.flits, vc.arrivals):
+                    if flit.packet.packet_id in doomed:
+                        self._restore_upstream_credit(
+                            router, vc.port_direction, vc.vc_index
+                        )
+                        if invariants is not None:
+                            invariants.on_flit_dropped(flit, cycle)
+                    else:
+                        kept_pairs.append((flit, arrival))
+                vc.flits.clear()
+                vc.arrivals.clear()
+                for flit, arrival in kept_pairs:
+                    vc.flits.append(flit)
+                    vc.arrivals.append(arrival)
+                router.head_version += 1
+                if front_doomed:
+                    # The VC's route/out_vc (and the downstream VC
+                    # ownership, if VA was granted) belonged to the
+                    # purged packet; a surviving follow-on packet's head
+                    # restarts from VA.
+                    if (
+                        vc.state is VCState.ACTIVE
+                        and vc.route is not None
+                        and vc.out_vc is not None
+                    ):
+                        out_port = router.output_ports[vc.route]
+                        if out_port.owner[vc.out_vc] == (
+                            vc.port_direction,
+                            vc.vc_index,
+                        ):
+                            out_port.owner[vc.out_vc] = None
+                    vc.reset_for_next_packet()
+                    if vc.flits:
+                        router._activate_front(vc, cycle)
+                if not vc.flits:
+                    router._occupied.pop(vc, None)
+            if touched:
+                # Conservative allocator wake-up: surviving fronts may
+                # have become eligible by the purge.
+                if router._va_wake_at > cycle + 1:
+                    router._va_wake_at = cycle + 1
+                if router._sa_wake_at > cycle + 1:
+                    router._sa_wake_at = cycle + 1
+        # Flits queued for ejection never reach their NI.
+        for when in list(self._eject_events):
+            kept_ejects = []
+            for node, flit in self._eject_events[when]:
+                if flit.packet.packet_id in doomed:
+                    if invariants is not None:
+                        invariants.on_flit_dropped(flit, cycle)
+                else:
+                    kept_ejects.append((node, flit))
+            if kept_ejects:
+                self._eject_events[when] = kept_ejects
+            else:
+                del self._eject_events[when]
+        # Per-packet accounting, then active-set / PG bookkeeping for
+        # routers the purge emptied.
+        for packet in doomed.values():
+            self.stats.record_drop(packet, cycle, self.dead_routers)
+            if invariants is not None:
+                invariants.on_packet_dropped(packet, cycle)
+        for router, was_busy in zip(self.routers, pre_busy):
+            if router._occupied:
+                continue
+            self.active_routers.discard(router.router_id)
+            if (
+                was_busy
+                and self._active_kernel
+                and not router.incoming_in_flight
+            ):
+                self.policy.on_router_emptied(router.router_id)
 

@@ -16,6 +16,20 @@ from .errors import SimulationError
 from .packet import Packet
 
 
+@dataclass(frozen=True)
+class DroppedPacket:
+    """One packet purged by the graceful-degradation policy."""
+
+    packet_id: int
+    source: int
+    destination: int
+    cycle: int
+    flits: int
+    #: Routers declared dead when the drop happened (the blast radius
+    #: this packet was part of).
+    dead_routers: tuple = ()
+
+
 @dataclass
 class NetworkStats:
     """Aggregate counters for one simulation run."""
@@ -38,6 +52,12 @@ class NetworkStats:
     router_traversals: int = 0
     link_traversals: int = 0
     cycles: int = 0
+    #: Packets/flits purged by graceful degradation.  Unlike latency
+    #: averages these are counted unconditionally (drops are
+    #: exceptional events, warmup or not).
+    dropped_packets: int = 0
+    dropped_flits: int = 0
+    drops: List[DroppedPacket] = field(default_factory=list)
     latencies: List[int] = field(default_factory=list)
     #: Record individual latencies (disabled for long runs to bound memory).
     keep_samples: bool = False
@@ -71,6 +91,21 @@ class NetworkStats:
         self.injected_packets += 1
         self.injected_flits += packet.size_flits
 
+    def record_drop(self, packet: Packet, cycle: int, dead_routers=()) -> None:
+        """Account a packet purged by graceful degradation."""
+        self.dropped_packets += 1
+        self.dropped_flits += packet.size_flits
+        self.drops.append(
+            DroppedPacket(
+                packet_id=packet.packet_id,
+                source=packet.source,
+                destination=packet.destination,
+                cycle=cycle,
+                flits=packet.size_flits,
+                dead_routers=tuple(sorted(dead_routers)),
+            )
+        )
+
     def as_dict(self) -> Dict[str, int]:
         """Every integer counter, for cycle-exact golden comparisons."""
         return {
@@ -87,6 +122,8 @@ class NetworkStats:
             "router_traversals": self.router_traversals,
             "link_traversals": self.link_traversals,
             "cycles": self.cycles,
+            "dropped_packets": self.dropped_packets,
+            "dropped_flits": self.dropped_flits,
         }
 
     # ------------------------------------------------------------------

@@ -131,6 +131,44 @@ class TestCellCache:
         b = CellSpec.parsec("canneal", "ConvOpt-PG")
         assert cache.key_for(a) != cache.key_for(b)
 
+    def test_concurrent_writers_same_key_never_corrupt(self, tmp_path):
+        """Two processes hammering put() on the same entry: a reader
+        polling throughout must only ever observe a complete entry
+        (atomic rename with per-key temp names), and no temp files may
+        be left behind."""
+        import multiprocessing
+
+        root = str(tmp_path)
+        spec = self.spec()
+        cache = CellCache(root, salt="s1")
+        cache.put(spec, make_record())
+        writers = [
+            multiprocessing.Process(target=_hammer_cache_put, args=(root, 40))
+            for _ in range(2)
+        ]
+        for proc in writers:
+            proc.start()
+        try:
+            while any(proc.is_alive() for proc in writers):
+                assert cache.get(spec) == make_record()
+        finally:
+            for proc in writers:
+                proc.join()
+        assert [proc.exitcode for proc in writers] == [0, 0]
+        assert cache.get(spec) == make_record()
+        from pathlib import Path
+
+        assert not list(Path(root).rglob("*.tmp"))
+
+
+def _hammer_cache_put(root, iterations):
+    """Worker for the concurrent-writer stress test (module-level so it
+    pickles under any multiprocessing start method)."""
+    cache = CellCache(root, salt="s1")
+    spec = CellSpec.parsec("canneal", "No-PG", instructions=300)
+    for _ in range(iterations):
+        cache.put(spec, make_record())
+
 
 class TestExecuteCells:
     def cells(self):
@@ -290,12 +328,19 @@ class TestSharedArgparser:
     def test_engine_flags_present(self):
         parser = campaign_argparser("desc")
         args = parser.parse_args(
-            ["--workers", "3", "--cache-dir", "/tmp/c", "--no-resume"]
+            [
+                "--workers", "3", "--cache-dir", "/tmp/c", "--no-resume",
+                "--timeout", "12.5", "--max-retries", "4",
+                "--quarantine-dir", "/tmp/q",
+            ]
         )
         assert engine_options(args) == {
             "workers": 3,
             "cache_dir": "/tmp/c",
             "resume": False,
+            "timeout": 12.5,
+            "max_retries": 4,
+            "quarantine_dir": "/tmp/q",
         }
 
     def test_defaults(self):
@@ -304,6 +349,9 @@ class TestSharedArgparser:
             "workers": 1,
             "cache_dir": None,
             "resume": True,
+            "timeout": None,
+            "max_retries": 2,
+            "quarantine_dir": None,
         }
 
     def test_suite_cache_and_instructions_variants(self):

@@ -1,0 +1,374 @@
+"""Chaos tests for the supervised campaign executor.
+
+The acceptance scenarios of the resilience layer live here:
+
+* a worker process is SIGKILLed mid-campaign — the supervisor detects
+  the broken pool, salvages every completed cell, respawns, and the
+  campaign finishes with payloads bit-identical to an undisturbed
+  sequential run;
+* the *orchestrator* is killed dead (``kill -9``, no cleanup) — a
+  resumed campaign recovers the completed cells from the cache and
+  finishes with 100% coverage and identical payload hashes;
+* a deterministically failing cell lands in the quarantine ledger
+  after exactly ``--max-retries`` attempts without blocking other
+  cells, and later campaigns skip it outright;
+* a cell that exceeds its wall-clock budget is killed, classified as
+  a timeout, and does not stall the rest of the matrix.
+
+Worker-kill tests rely on the ``fork`` start method: monkeypatched
+``repro.campaign.engine.run_cell`` propagates into pool workers forked
+after the patch.  That holds on Linux/CPython (the platforms CI runs).
+"""
+
+import hashlib
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import (
+    CampaignError,
+    CellCache,
+    CellSpec,
+    QuarantinedCellError,
+    QuarantineLedger,
+    encode_payload,
+    execute_cells,
+)
+from repro.noc.errors import SimulationError
+
+
+def specs(n=4):
+    """Cheap distinguishable cells (run_cell is monkeypatched away)."""
+    return [
+        CellSpec.parsec("canneal", "No-PG", instructions=100, seed=seed)
+        for seed in range(1, n + 1)
+    ]
+
+
+def payload_hash(payload):
+    doc = json.dumps(encode_payload(payload), sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+def well_behaved(spec):
+    return {"seed": spec.seed, "value": spec.seed * 10}
+
+
+class TestWorkerKill:
+    def test_sigkill_worker_is_isolated_and_campaign_completes(
+        self, tmp_path, monkeypatch
+    ):
+        """SIGKILL one worker mid-cell: the supervisor must respawn the
+        pool, re-run the victim, and deliver bit-identical payloads."""
+        sentinel = tmp_path / "killed-once"
+
+        def homicidal(spec):
+            if spec.seed == 3 and not sentinel.exists():
+                sentinel.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return well_behaved(spec)
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", homicidal)
+        cache = CellCache(tmp_path / "cache", salt="s1")
+        log = tmp_path / "events.jsonl"
+        payloads, stats = execute_cells(
+            specs(), workers=2, cache=cache, log_path=log
+        )
+
+        assert sentinel.exists(), "the chaos cell never ran"
+        assert stats.crashes >= 1
+        assert stats.executed == 4 and stats.failed == 0
+        # Bit-identical to an undisturbed sequential run.
+        undisturbed, _ = execute_cells(specs())
+        assert [payload_hash(p) for p in payloads] == [
+            payload_hash(p) for p in undisturbed
+        ]
+        events = [json.loads(line) for line in log.read_text().splitlines()]
+        assert any(e["event"] == "pool-respawn" for e in events)
+
+    def test_repeated_worker_crashes_quarantine_the_culprit(
+        self, tmp_path, monkeypatch
+    ):
+        """A cell that kills its worker every time is classified
+        deterministic (crash twice in a row) and quarantined instead of
+        crash-looping the pool forever."""
+
+        def always_kills(spec):
+            if spec.seed == 2:
+                os.kill(os.getpid(), signal.SIGKILL)
+            return well_behaved(spec)
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", always_kills)
+        ledger = QuarantineLedger(tmp_path / "q")
+        cache = CellCache(tmp_path / "cache", salt="s1")
+        payloads, stats = execute_cells(
+            specs(3),
+            workers=2,
+            cache=cache,
+            quarantine=ledger,
+            max_retries=3,
+            failure_mode="continue",
+        )
+        assert stats.crashes >= 2
+        assert stats.quarantined == 1 and stats.failed == 1
+        assert payloads[1] is None
+        assert payloads[0] == well_behaved(specs(3)[0])
+        assert payloads[2] == well_behaved(specs(3)[2])
+        key = cache.key_for(specs(3)[1])
+        assert ledger.is_quarantined(key)
+        report = ledger.load_report(key)
+        assert report["classification"] == "deterministic"
+        assert report["signatures"][-2:] == ["worker-crash", "worker-crash"]
+
+
+_ORCHESTRATOR_SCRIPT = """
+import os, signal, sys
+from repro.campaign import CellCache, execute_cells
+from tests.test_chaos import orchestrator_cells
+
+cells = orchestrator_cells()
+cache = CellCache(sys.argv[1])
+seen = []
+
+def on_result(index, spec, payload, was_hit):
+    seen.append(index)
+    if len(seen) == 3:
+        os.kill(os.getpid(), signal.SIGKILL)  # kill -9, no cleanup
+
+execute_cells(cells, cache=cache, on_result=on_result)
+"""
+
+
+def orchestrator_cells():
+    """Real (tiny) simulation cells for the orchestrator-kill test —
+    the child process cannot see the parent's monkeypatches."""
+    return [
+        CellSpec.synthetic(
+            "uniform_random",
+            0.02,
+            scheme,
+            warmup=30,
+            measurement=80,
+            drain=False,
+            seed=seed,
+        )
+        for scheme in ("No-PG", "PowerPunch-PG")
+        for seed in (1, 2, 3)
+    ]
+
+
+class TestOrchestratorKill:
+    def test_kill_dash_9_then_resume_bit_identical(self, tmp_path):
+        """kill -9 the whole campaign after 3 completed cells; a
+        resumed run must recover those 3 from the cache and finish with
+        100% coverage and payload hashes identical to an undisturbed
+        run."""
+        cache_dir = tmp_path / "cache"
+        env = dict(os.environ)
+        repo = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo / "src"), str(repo), env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", _ORCHESTRATOR_SCRIPT, str(cache_dir)],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert proc.returncode == -signal.SIGKILL, proc.stderr
+
+        cells = orchestrator_cells()
+        cache = CellCache(cache_dir)
+        resumed, stats = execute_cells(cells, cache=cache)
+        assert stats.hits == 3, "completed cells were not salvaged"
+        assert stats.executed == 3
+        assert all(p is not None for p in resumed)
+
+        undisturbed, _ = execute_cells(cells, cache=CellCache(tmp_path / "fresh"))
+        assert [payload_hash(p) for p in resumed] == [
+            payload_hash(p) for p in undisturbed
+        ]
+
+
+class TestQuarantine:
+    def test_deterministic_failure_quarantined_after_max_retries(
+        self, tmp_path, monkeypatch
+    ):
+        calls = []
+
+        def mostly_fine(spec):
+            calls.append(spec.seed)
+            if spec.seed == 2:
+                raise SimulationError("deterministic kaboom", cycle=5)
+            return well_behaved(spec)
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", mostly_fine)
+        cache = CellCache(tmp_path / "cache", salt="s1")
+        ledger = QuarantineLedger(tmp_path / "q")
+        cells = specs(3)
+        with pytest.raises(CampaignError) as excinfo:
+            execute_cells(
+                cells, cache=cache, quarantine=ledger, max_retries=2
+            )
+        # Exactly --max-retries attempts, then condemned.
+        assert calls.count(2) == 2
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.cause, SimulationError)
+        key = cache.key_for(cells[1])
+        entry = ledger.entry_for(key)
+        assert entry["classification"] == "deterministic"
+        assert entry["attempts"] == 2
+        # The failure did not block the other cells: both are cached.
+        assert cache.get(cells[0]) is not None
+        assert cache.get(cells[2]) is not None
+
+    def test_second_campaign_skips_quarantined_cell(self, tmp_path, monkeypatch):
+        calls = []
+
+        def mostly_fine(spec):
+            calls.append(spec.seed)
+            if spec.seed == 2:
+                raise SimulationError("deterministic kaboom", cycle=5)
+            return well_behaved(spec)
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", mostly_fine)
+        cache = CellCache(tmp_path / "cache", salt="s1")
+        ledger = QuarantineLedger(tmp_path / "q")
+        cells = specs(3)
+        with pytest.raises(CampaignError):
+            execute_cells(cells, cache=cache, quarantine=ledger)
+        first_run_calls = list(calls)
+
+        payloads, stats = execute_cells(
+            cells,
+            cache=cache,
+            quarantine=QuarantineLedger(tmp_path / "q"),  # reopened from disk
+            failure_mode="continue",
+        )
+        # No new attempts at all: goods hit the cache, the bad cell is
+        # skipped by the ledger without burning its retry budget.
+        assert calls == first_run_calls
+        assert stats.hits == 2 and stats.executed == 0
+        assert stats.quarantined == 1
+        assert payloads[1] is None
+
+    def test_quarantined_cell_raises_typed_error(self, tmp_path, monkeypatch):
+        def always_fails(spec):
+            raise SimulationError("kaboom")
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", always_fails)
+        cache = CellCache(tmp_path / "cache", salt="s1")
+        cells = specs(1)
+        with pytest.raises(CampaignError):
+            execute_cells(cells, cache=cache, quarantine=tmp_path / "q")
+        with pytest.raises(CampaignError) as excinfo:
+            execute_cells(cells, cache=cache, quarantine=tmp_path / "q")
+        assert isinstance(excinfo.value.cause, QuarantinedCellError)
+        assert excinfo.value.attempts == 0
+
+
+class TestTimeout:
+    def test_hung_cell_is_killed_and_does_not_stall_matrix(
+        self, tmp_path, monkeypatch
+    ):
+        def sleepy(spec):
+            if spec.seed == 2:
+                time.sleep(60)
+            return well_behaved(spec)
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", sleepy)
+        ledger = QuarantineLedger(tmp_path / "q")
+        cache = CellCache(tmp_path / "cache", salt="s1")
+        cells = specs(3)
+        start = time.monotonic()
+        payloads, stats = execute_cells(
+            cells,
+            workers=2,
+            timeout=0.75,
+            max_retries=1,
+            cache=cache,
+            quarantine=ledger,
+            failure_mode="continue",
+        )
+        elapsed = time.monotonic() - start
+        assert elapsed < 30, "timeout enforcement failed to preempt the hang"
+        assert stats.timeouts >= 1
+        assert payloads[1] is None
+        assert payloads[0] == well_behaved(cells[0])
+        assert payloads[2] == well_behaved(cells[2])
+        report = ledger.load_report(cache.key_for(cells[1]))
+        assert report["signatures"] == ["timeout"]
+        assert report["error_type"] == "CellTimeoutError"
+
+    def test_timeout_forces_isolation_even_with_one_worker(
+        self, tmp_path, monkeypatch
+    ):
+        """``workers=1`` with a timeout still runs cells in a worker
+        process — inline execution could never preempt a hang."""
+
+        def sleepy(spec):
+            if spec.seed == 1:
+                time.sleep(60)
+            return well_behaved(spec)
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", sleepy)
+        cells = specs(2)
+        payloads, stats = execute_cells(
+            cells,
+            workers=1,
+            timeout=0.75,
+            max_retries=1,
+            failure_mode="continue",
+        )
+        assert stats.timeouts >= 1
+        assert payloads[0] is None
+        assert payloads[1] == well_behaved(cells[1])
+
+
+class TestCheckpointRecovery:
+    def test_campaign_restores_from_checkpoint_without_cache(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setattr(
+            "repro.campaign.engine.run_cell", well_behaved
+        )
+        ckpt = tmp_path / "campaign.checkpoint.json"
+        cells = specs(4)
+        _, cold = execute_cells(cells, checkpoint=ckpt, checkpoint_every=1)
+        assert cold.executed == 4
+
+        def must_not_run(spec):  # pragma: no cover - failure mode
+            raise AssertionError("cell re-ran despite checkpoint")
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", must_not_run)
+        payloads, warm = execute_cells(cells, checkpoint=ckpt)
+        assert warm.executed == 0
+        assert warm.hits == 4 and warm.restored == 4
+        assert payloads == [well_behaved(spec) for spec in cells]
+
+    def test_checkpoint_heals_wiped_cache(self, tmp_path, monkeypatch):
+        monkeypatch.setattr("repro.campaign.engine.run_cell", well_behaved)
+        ckpt = tmp_path / "c.json"
+        cache_dir = tmp_path / "cache"
+        cells = specs(2)
+        execute_cells(
+            cells,
+            cache=CellCache(cache_dir, salt="s1"),
+            checkpoint=ckpt,
+            checkpoint_every=1,
+        )
+        # Simulate losing the cache but keeping the checkpoint.
+        for entry in cache_dir.rglob("*.json"):
+            entry.unlink()
+        cache = CellCache(cache_dir, salt="s1")
+        _, stats = execute_cells(cells, cache=cache, checkpoint=ckpt)
+        assert stats.restored == 2 and stats.executed == 0
+        # Restored entries were written back into the cache.
+        assert cache.get(cells[0]) == well_behaved(cells[0])

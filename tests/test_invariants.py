@@ -321,3 +321,76 @@ class TestTypedErrors:
         assert err.invariant == "flit-conservation"
         assert "flit-conservation" in str(err)
         assert "[cycle=3]" in str(err)
+
+
+@pytest.mark.parametrize("kernel", ["active", "naive"])
+class TestWatchdogKernelParity:
+    """The active-set kernel parks idle routers and skips them in the
+    per-cycle loop; a parked (or power-gated) router must never
+    suppress the watchdog's progress checks.  Both kernels must detect
+    the same deadlocks — and at the same cycle (checked below)."""
+
+    def seeded_deadlock(self, kernel):
+        scheme = PowerPunchPG(wakeup_latency=8)
+        net = Network(NoCConfig(width=4, height=4, kernel=kernel), scheme)
+        checker = InvariantChecker(strict=True, max_network_age=200)
+        net.install_invariants(checker)
+        net.install_faults(
+            FaultInjector(
+                FaultSchedule([FaultSpec(kind="router_stall", router=2, start=0)])
+            )
+        )
+        for _ in range(30):
+            net.step()  # the idle mesh parks (and gates off) routers
+        packet = control_packet(0, 3, VirtualNetwork.REQUEST, net.cycle)
+        net.inject(packet)
+        return net, packet
+
+    def test_parked_routers_do_not_suppress_watchdog(self, kernel):
+        net, packet = self.seeded_deadlock(kernel)
+        with pytest.raises(DeadlockError) as excinfo:
+            net.run(2000)
+        stuck = excinfo.value.post_mortem.stuck_packets[0]
+        assert stuck["packet_id"] == packet.packet_id
+
+    def test_starved_ni_detected_while_mesh_fully_parked(self, kernel):
+        """Every wakeup at the source router fails, so the whole mesh
+        stays parked/off — the queue-age bound must still fire."""
+        scheme = PowerPunchPG(wakeup_latency=8)
+        net = Network(NoCConfig(width=4, height=4, kernel=kernel), scheme)
+        checker = InvariantChecker(strict=True, max_queue_age=100)
+        net.install_invariants(checker)
+        net.install_faults(
+            FaultInjector(
+                FaultSchedule([FaultSpec(kind="wakeup_fail", router=0)])
+            )
+        )
+        for _ in range(30):
+            net.step()
+        assert scheme.controllers[0].is_off
+        net.inject(control_packet(0, 3, VirtualNetwork.REQUEST, net.cycle))
+        with pytest.raises(DeadlockError) as excinfo:
+            net.run(1000)
+        assert excinfo.value.post_mortem.stuck_packets[0]["injected_at"] is None
+
+
+def test_watchdog_detection_cycle_is_kernel_exact():
+    """Deadlock detection is part of the cycle-accurate contract: both
+    kernels must trip the watchdog on the same cycle."""
+    detected = {}
+    for kernel in ("active", "naive"):
+        scheme = PowerPunchPG(wakeup_latency=8)
+        net = Network(NoCConfig(width=4, height=4, kernel=kernel), scheme)
+        net.install_invariants(InvariantChecker(strict=True, max_network_age=200))
+        net.install_faults(
+            FaultInjector(
+                FaultSchedule([FaultSpec(kind="router_stall", router=2, start=0)])
+            )
+        )
+        for _ in range(30):
+            net.step()
+        net.inject(control_packet(0, 3, VirtualNetwork.REQUEST, net.cycle))
+        with pytest.raises(DeadlockError):
+            net.run(2000)
+        detected[kernel] = net.cycle
+    assert detected["active"] == detected["naive"]
