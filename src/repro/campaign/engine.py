@@ -364,8 +364,15 @@ def execute_cells(
                     signatures[index],
                     classification,
                 )
-                quarantine.quarantine(report)
-                stats.quarantined += 1
+                if classification in ("deterministic", "fatal"):
+                    quarantine.quarantine(report)
+                    stats.quarantined += 1
+                else:
+                    # "exhausted" means the budget ran out on *differing*
+                    # signatures — a flaky cell, not a condemned one.  Keep
+                    # the structured report for post-mortems but write no
+                    # ledger line, so the next campaign retries it.
+                    quarantine.record_failure(report)
             log.emit(
                 _cell_event(
                     "failed",
@@ -472,7 +479,10 @@ def _supervise_pool(
     culprits), resubmits the queued innocents for free, and respawns
     the pool.  A timed-out cell is killed by killing the whole pool —
     the only portable lever — and classified ``timeout`` rather than
-    ``worker-crash``.
+    ``worker-crash``; cells that merely shared the pool with it
+    (running but within their own deadline) are collateral damage and
+    are resubmitted without being charged an attempt, so back-to-back
+    timeout kills cannot condemn an innocent cell as deterministic.
     """
     pool = ProcessPoolExecutor(max_workers=workers)
     inflight: Dict[Future, int] = {}
@@ -483,6 +493,9 @@ def _supervise_pool(
     waiting: List[Tuple[float, int]] = [(0.0, index) for index in runnable]
     timed_out: Set[int] = set()
     running_snapshot: Set[Future] = set()
+    #: True while a pool break was supervisor-initiated (timeout
+    #: enforcement) rather than a spontaneous worker death.
+    supervisor_kill = False
 
     def respawn() -> None:
         nonlocal pool
@@ -571,30 +584,33 @@ def _supervise_pool(
                     )
                     running_snapshot = {f for f in inflight if f.running()}
                     running_snapshot.update(expired)
+                    supervisor_kill = True
                     _kill_pool_workers(pool)
                 continue
 
-            victims: Optional[Dict[Future, int]] = None
+            # A broken pool still returns results from futures that
+            # completed before the break, so harvest every finished
+            # future first; only futures that broke (or are still
+            # pending in-flight) become victims.
+            victims: Dict[Future, int] = {}
             for future in finished:
-                if victims is not None:
-                    break
                 index = inflight.pop(future)
                 started.pop(future, None)
                 deadlines.pop(future, None)
                 try:
                     payload = future.result()
                 except BrokenProcessPool:
-                    victims = {future: index}
-                    victims.update(inflight)
-                    inflight.clear()
-                    started.clear()
-                    deadlines.clear()
+                    victims[future] = index
                 except Exception as exc:
                     handle_outcome(future, index, exc, None)
                 else:
                     handle_outcome(future, index, None, payload)
 
-            if victims is not None:
+            if victims:
+                victims.update(inflight)
+                inflight.clear()
+                started.clear()
+                deadlines.clear()
                 stats.crashes += 1
                 log.emit(
                     {
@@ -610,16 +626,18 @@ def _supervise_pool(
                             f"cell exceeded its {timeout:.3f}s wall-clock budget"
                         )
                         handle_outcome(future, index, exc, None)
-                    elif future in running_snapshot:
+                    elif future in running_snapshot and not supervisor_kill:
                         exc = WorkerCrashError(
                             "worker process died mid-cell "
                             "(killed, out-of-memory, or crashed)"
                         )
                         handle_outcome(future, index, exc, None)
                     else:
-                        # Queued innocent: resubmit without charging an
-                        # attempt.
+                        # Queued innocent — or collateral damage of a
+                        # supervisor timeout kill: resubmit without
+                        # charging an attempt.
                         waiting.append((now, index))
+                supervisor_kill = False
                 respawn()
     finally:
         pool.shutdown(wait=False)

@@ -268,5 +268,9 @@ def run_cell(spec: CellSpec):
     try:
         return runner(spec)
     except Exception as exc:
-        exc.add_note(f"cell: {spec.label} (kind={spec.kind}, seed={spec.seed})")
+        note = f"cell: {spec.label} (kind={spec.kind}, seed={spec.seed})"
+        if hasattr(exc, "add_note"):  # PEP 678, Python 3.11+
+            exc.add_note(note)
+        else:  # pragma: no cover - exercised on 3.9/3.10 only
+            exc.cell_note = note
         raise

@@ -260,6 +260,16 @@ class QuarantineLedger:
         except (OSError, ValueError):
             return None
 
+    def record_failure(self, report: FailureReport) -> None:
+        """Write the structured report *without* condemning the cell.
+
+        Used for ``exhausted`` failures (retry budget ran out on
+        differing signatures): the post-mortem evidence is kept under
+        ``reports/`` but no ledger line is appended, so the cell stays
+        retryable in the next campaign.
+        """
+        _atomic_write_json(self.report_path(report.key), report.as_dict())
+
     def quarantine(self, report: FailureReport) -> None:
         """Condemn a cell: append the ledger line, write the report."""
         entry = {

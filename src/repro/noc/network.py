@@ -180,11 +180,13 @@ class Network:
             and self._degradation == "drop"
             and self._crosses_dead(packet.source, packet.destination)
         ):
-            # The packet would wedge behind a dead router; drop it at
+            # The packet would wedge behind a dead router; refuse it at
             # the door with full accounting instead of letting it (and
             # everything behind it) pile up until the watchdog fires.
+            # Refused packets are never record_injection()'d, so they
+            # land in the refused_* subset of the drop counters.
             packet.created_at = self.cycle
-            self.stats.record_drop(packet, self.cycle, self.dead_routers)
+            self.stats.record_refusal(packet, self.cycle, self.dead_routers)
             if self.invariants is not None:
                 self.invariants.on_packet_dropped(packet, self.cycle)
             return

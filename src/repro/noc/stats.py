@@ -54,9 +54,18 @@ class NetworkStats:
     cycles: int = 0
     #: Packets/flits purged by graceful degradation.  Unlike latency
     #: averages these are counted unconditionally (drops are
-    #: exceptional events, warmup or not).
+    #: exceptional events, warmup or not).  ``dropped_packets`` mixes
+    #: two populations: packets purged *in flight* (which were counted
+    #: by :meth:`record_injection`) and packets *refused at injection*
+    #: (which never were).  The refused subset is broken out below, so
+    #: in-flight losses are ``dropped - refused`` and
+    #: ``injected - (dropped - refused)`` compares against deliveries.
     dropped_packets: int = 0
     dropped_flits: int = 0
+    #: Subset of the drop counters: packets refused at the NI door
+    #: because their route crossed a dead router (never injected).
+    refused_packets: int = 0
+    refused_flits: int = 0
     drops: List[DroppedPacket] = field(default_factory=list)
     latencies: List[int] = field(default_factory=list)
     #: Record individual latencies (disabled for long runs to bound memory).
@@ -91,6 +100,15 @@ class NetworkStats:
         self.injected_packets += 1
         self.injected_flits += packet.size_flits
 
+    def record_refusal(self, packet: Packet, cycle: int, dead_routers=()) -> None:
+        """Account a packet refused at injection (never entered the
+        mesh).  Refusals count into the drop totals *and* into the
+        ``refused_*`` subset, so consumers can separate never-injected
+        losses from in-flight purges."""
+        self.refused_packets += 1
+        self.refused_flits += packet.size_flits
+        self.record_drop(packet, cycle, dead_routers)
+
     def record_drop(self, packet: Packet, cycle: int, dead_routers=()) -> None:
         """Account a packet purged by graceful degradation."""
         self.dropped_packets += 1
@@ -124,6 +142,8 @@ class NetworkStats:
             "cycles": self.cycles,
             "dropped_packets": self.dropped_packets,
             "dropped_flits": self.dropped_flits,
+            "refused_packets": self.refused_packets,
+            "refused_flits": self.refused_flits,
         }
 
     # ------------------------------------------------------------------

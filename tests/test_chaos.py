@@ -259,6 +259,49 @@ class TestQuarantine:
         assert stats.quarantined == 1
         assert payloads[1] is None
 
+    def test_exhausted_flaky_cell_is_not_quarantined(self, tmp_path, monkeypatch):
+        """A cell whose budget runs out on *differing* signatures is
+        flaky, not condemned: its structured report is written for
+        post-mortems, but no ledger line — the next campaign retries
+        it with a fresh budget instead of skipping it forever."""
+        calls = []
+
+        def flaky(spec):
+            calls.append(spec.seed)
+            if spec.seed == 2:
+                raise SimulationError(f"flaky kaboom #{len(calls)}", cycle=5)
+            return well_behaved(spec)
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", flaky)
+        cache = CellCache(tmp_path / "cache", salt="s1")
+        ledger = QuarantineLedger(tmp_path / "q")
+        cells = specs(3)
+        payloads, stats = execute_cells(
+            cells,
+            cache=cache,
+            quarantine=ledger,
+            max_retries=2,
+            failure_mode="continue",
+        )
+        assert payloads[1] is None
+        assert stats.failed == 1 and stats.quarantined == 0
+        key = cache.key_for(cells[1])
+        assert not ledger.is_quarantined(key)
+        report = ledger.load_report(key)
+        assert report["classification"] == "exhausted"
+        assert len(set(report["signatures"])) == 2  # genuinely differing
+
+        attempts_before = calls.count(2)
+        execute_cells(
+            cells,
+            cache=cache,
+            quarantine=QuarantineLedger(tmp_path / "q"),  # reopened
+            max_retries=2,
+            failure_mode="continue",
+        )
+        # A fresh budget was spent — the cell was not skipped.
+        assert calls.count(2) == attempts_before + 2
+
     def test_quarantined_cell_raises_typed_error(self, tmp_path, monkeypatch):
         def always_fails(spec):
             raise SimulationError("kaboom")
@@ -306,6 +349,41 @@ class TestTimeout:
         report = ledger.load_report(cache.key_for(cells[1]))
         assert report["signatures"] == ["timeout"]
         assert report["error_type"] == "CellTimeoutError"
+
+    def test_timeout_kill_collateral_is_not_charged(self, tmp_path, monkeypatch):
+        """Enforcing one cell's deadline kills the whole pool; cells
+        that were merely running inside their own deadline are
+        collateral damage and must be resubmitted free of charge.
+        With ``max_retries=1`` a single wrongly-charged attempt would
+        fail the innocent cell outright."""
+        sentinel = tmp_path / "collateral-killed-once"
+
+        def staged(spec):
+            if spec.seed == 1:
+                time.sleep(60)  # the genuine timeout
+            if spec.seed == 2:
+                time.sleep(1.0)  # stagger seed 3's start/deadline
+            if spec.seed == 3 and not sentinel.exists():
+                sentinel.touch()
+                time.sleep(60)  # asleep when seed 1's kill lands
+            return well_behaved(spec)
+
+        monkeypatch.setattr("repro.campaign.engine.run_cell", staged)
+        cells = specs(3)
+        payloads, stats = execute_cells(
+            cells,
+            workers=2,
+            timeout=2.0,
+            max_retries=1,
+            failure_mode="continue",
+        )
+        assert sentinel.exists(), "the collateral cell never ran"
+        assert stats.timeouts == 1
+        assert payloads[0] is None  # the hung cell, charged and failed
+        assert payloads[1] == well_behaved(cells[1])
+        # The innocent bystander survived despite the 1-attempt budget.
+        assert payloads[2] == well_behaved(cells[2])
+        assert stats.failed == 1
 
     def test_timeout_forces_isolation_even_with_one_worker(
         self, tmp_path, monkeypatch

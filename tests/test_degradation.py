@@ -135,6 +135,8 @@ class TestDropPolicy:
         stats = net.stats
         assert stats.dropped_packets == 1
         assert stats.dropped_flits == packet.size_flits
+        # An in-flight purge is not a refusal: the packet was injected.
+        assert stats.refused_packets == 0
         drop = stats.drops[0]
         assert drop.packet_id == packet.packet_id
         assert drop.flits == packet.size_flits
@@ -150,9 +152,17 @@ class TestDropPolicy:
         net.run(60)
         assert net.dead_routers == {DEAD}
         before = net.stats.dropped_packets
+        before_refused = net.stats.refused_packets
+        before_injected = net.stats.injected_packets
         doomed = control_packet(4, 6, VirtualNetwork.REQUEST, net.cycle)
         net.inject(doomed)
         assert net.stats.dropped_packets == before + 1
+        # The refusal is broken out separately and never counted as an
+        # injection, so drops-minus-refusals stays comparable with
+        # injected_packets.
+        assert net.stats.refused_packets == before_refused + 1
+        assert net.stats.refused_flits >= doomed.size_flits
+        assert net.stats.injected_packets == before_injected
         assert doomed.delivered_at is None
         # A route that avoids the dead router still delivers.
         survivor = control_packet(0, 12, VirtualNetwork.REQUEST, net.cycle)
@@ -168,6 +178,7 @@ class TestDropPolicy:
         dump = net.stats.as_dict()
         assert dump["dropped_packets"] == 1
         assert dump["dropped_flits"] >= 1
+        assert dump["refused_packets"] == 0  # purged in flight, not refused
 
     @pytest.mark.parametrize("kernel", ["active", "naive"])
     def test_drop_under_load_keeps_strict_invariants_green(self, kernel):
