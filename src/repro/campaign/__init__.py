@@ -11,7 +11,13 @@ log.  See ``docs/campaigns.md`` and ``docs/resilience.md``.
 """
 
 from .cache import CellCache, code_salt, decode_payload, encode_payload
-from .cli import add_campaign_args, campaign_argparser, engine_options
+from .cli import (
+    add_campaign_args,
+    add_robustness_args,
+    apply_robustness_args,
+    campaign_argparser,
+    engine_options,
+)
 from .engine import Campaign, CampaignError, CampaignStats, execute_cells
 from .runner import build_scheme, run_cell, run_parsec, run_synthetic
 from .spec import CellSpec, freeze_items
@@ -41,6 +47,8 @@ __all__ = [
     "RetryPolicy",
     "WorkerCrashError",
     "add_campaign_args",
+    "add_robustness_args",
+    "apply_robustness_args",
     "build_scheme",
     "campaign_argparser",
     "classify_attempts",

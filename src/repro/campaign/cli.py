@@ -71,6 +71,68 @@ def add_campaign_args(
     return parser
 
 
+def add_robustness_args(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the graceful-degradation override flags to a parser.
+
+    These mirror the global ``repro.cli`` front-door flags for
+    experiment scripts invoked directly.  Apply the parsed values with
+    :func:`apply_robustness_args` (and ``clear_ambient`` in a
+    ``finally``): they merge into the process-wide ambient config, so
+    they affect networks built in this process — campaign cells that
+    must carry robustness settings across process-pool workers encode
+    them in the cell's ``NoCConfig`` instead (see the ``reliability``
+    cell kind).
+    """
+    group = parser.add_argument_group("robustness")
+    group.add_argument(
+        "--degradation",
+        choices=("none", "drop", "reroute", "fail_fast"),
+        default=None,
+        help="graceful-degradation mode override for every network "
+        "built by this process (see docs/fault_model.md)",
+    )
+    group.add_argument(
+        "--reroute",
+        action="store_true",
+        help="shorthand for --degradation reroute",
+    )
+    group.add_argument(
+        "--dead-router-threshold",
+        type=int,
+        default=None,
+        help="continuously stalled cycles before a router is declared "
+        "permanently dead",
+    )
+    return parser
+
+
+def apply_robustness_args(args: argparse.Namespace) -> bool:
+    """Merge parsed robustness flags into the ambient configuration.
+
+    Returns True when anything was staged (the caller owns the
+    matching ``clear_ambient``); existing ambient state — e.g. a
+    ``--faults`` schedule staged by the ``repro.cli`` front door — is
+    preserved.
+    """
+    from ..noc.faults import ambient_config, set_ambient
+
+    degradation = "reroute" if getattr(args, "reroute", False) else None
+    if degradation is None:
+        degradation = getattr(args, "degradation", None)
+    threshold = getattr(args, "dead_router_threshold", None)
+    if degradation is None and threshold is None:
+        return False
+    spec, strict, watchdog, ambient_degradation, ambient_threshold = ambient_config()
+    set_ambient(
+        spec,
+        strict,
+        watchdog,
+        degradation if degradation is not None else ambient_degradation,
+        threshold if threshold is not None else ambient_threshold,
+    )
+    return True
+
+
 def campaign_argparser(
     description: Optional[str] = None,
     *,

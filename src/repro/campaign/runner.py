@@ -239,6 +239,69 @@ def _run_bench_cell(spec: CellSpec) -> dict:
     )
 
 
+def _run_reliability_cell(spec: CellSpec) -> dict:
+    """One Monte-Carlo reliability trial (see spec module docstring).
+
+    The fault schedule is sampled from the cell seed, injected into a
+    network built from the cell config (the experiments layer passes a
+    ``degradation="reroute"`` config), and run under strict invariants
+    plus the deadlock watchdog.  Liveness failures (watchdog deadlock,
+    drain timeout, fail-fast degradation) are *outcomes*, not crashes —
+    they are folded into the payload so the estimator sees them;
+    genuine invariant violations still propagate to quarantine.
+    """
+    from ..noc import FaultInjector, InvariantChecker
+    from ..noc.errors import DeadlockError, DegradedNetworkError, DrainTimeoutError
+    from ..noc.faults import sample_fault_schedule
+
+    params = dict(spec.extras)
+    config = spec.build_config()
+    schedule = sample_fault_schedule(
+        spec.seed,
+        config.num_nodes,
+        max_faults=int(params.get("max_faults", 2)),
+        horizon=int(params.get("horizon", 2000)),
+    )
+    scheme = build_scheme(spec) if spec.scheme != "-" else None
+    network = Network(config, scheme)
+    network.install_faults(FaultInjector(schedule))
+    network.install_invariants(
+        InvariantChecker(
+            strict=True, max_network_age=int(params.get("watchdog", 50_000))
+        )
+    )
+    traffic = SyntheticTraffic(
+        network, spec.workload, spec.injection_rate, seed=spec.seed
+    )
+    outcome = "drained"
+    try:
+        traffic.run(spec.warmup + spec.measurement)
+        traffic.drain()
+    except (DeadlockError, DrainTimeoutError):
+        outcome = "deadlock"
+    except DegradedNetworkError:
+        outcome = "degraded"
+    stats = network.stats
+    in_flight_losses = stats.dropped_packets - stats.refused_packets
+    return {
+        "fault_spec": schedule.to_spec(),
+        "outcome": outcome,
+        "deadlocked": outcome == "deadlock",
+        "injected": stats.injected_packets,
+        "delivered": stats.delivered,
+        "dropped": stats.dropped_packets,
+        "refused": stats.refused_packets,
+        "delivered_all": outcome == "drained"
+        and in_flight_losses == 0
+        and stats.delivered == stats.injected_packets,
+        "dead_routers": sorted(network.dead_routers),
+        "wakeup_retries": stats.wakeup_retries,
+        "rerouted_packets": stats.rerouted_packets,
+        "detour_hops": stats.detour_hops,
+        "cycles": network.cycle,
+    }
+
+
 _RUNNERS = {
     "parsec": _run_parsec_cell,
     "synthetic": _run_synthetic_cell,
@@ -246,6 +309,7 @@ _RUNNERS = {
     "bet_account": _run_bet_cell,
     "analysis": _run_analysis_cell,
     "bench": _run_bench_cell,
+    "reliability": _run_reliability_cell,
 }
 
 

@@ -27,6 +27,13 @@ Cell kinds and their payloads:
 ``bench``
     Kernel cycles/sec benchmark cell (never cached — wall-clock
     timings are not content-addressable) → bench result dict.
+``reliability``
+    One Monte-Carlo reliability trial: a fault schedule sampled from
+    the cell's seed (see ``repro.noc.faults.sample_fault_schedule``)
+    injected into a reroute-capable network under synthetic traffic,
+    with strict invariants and the deadlock watchdog armed → outcome
+    dict (delivered/dropped/refused counts, ``deadlocked`` flag, the
+    sampled fault spec string, retry/reroute counters).
 """
 
 from __future__ import annotations
@@ -52,6 +59,7 @@ CELL_KINDS = (
     "bet_account",
     "analysis",
     "bench",
+    "reliability",
 )
 
 
@@ -193,6 +201,49 @@ class CellSpec:
     def analysis(cls, label: str, **params: object) -> "CellSpec":
         """A deterministic analysis cell (no simulation)."""
         return cls(kind="analysis", workload=label, extras=freeze_items(params))
+
+    @classmethod
+    def reliability(
+        cls,
+        sample_seed: int,
+        *,
+        pattern: str = "uniform_random",
+        injection_rate: float = 0.02,
+        scheme: str = "PowerPunch-PG",
+        warmup: int = 500,
+        measurement: int = 4000,
+        config: Optional[NoCConfig] = None,
+        max_faults: int = 2,
+        horizon: int = 2000,
+        watchdog: int = 50_000,
+        scheme_kwargs: ItemsLike = None,
+    ) -> "CellSpec":
+        """One Monte-Carlo reliability trial.
+
+        ``sample_seed`` drives both the fault-schedule sampler and the
+        traffic generator, so the trial is a pure function of the spec;
+        ``max_faults``/``horizon`` parameterize the sampler and
+        ``watchdog`` bounds the deadlock detector.  ``scheme="-"``
+        runs without power gating (structural faults only).
+        """
+        return cls(
+            kind="reliability",
+            workload=pattern,
+            scheme=scheme,
+            scheme_kwargs=freeze_items(scheme_kwargs),
+            seed=sample_seed,
+            injection_rate=injection_rate,
+            warmup=warmup,
+            measurement=measurement,
+            config=_config_items(config),
+            extras=freeze_items(
+                {
+                    "max_faults": max_faults,
+                    "horizon": horizon,
+                    "watchdog": watchdog,
+                }
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Canonical form / cache key

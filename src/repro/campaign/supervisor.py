@@ -143,6 +143,12 @@ class FailureReport:
     #: Rendered :class:`~repro.noc.invariants.PostMortem`, when the
     #: final exception carried one (deadlock watchdog, drain timeout).
     post_mortem: Optional[str] = None
+    #: Fault schedule active when the cell died (compact ``--faults``
+    #: grammar) and the routers declared dead at that point, when the
+    #: final exception carried them — together they make a liveness
+    #: failure reproducible straight from the report.
+    fault_spec: Optional[str] = None
+    dead_routers: List[int] = field(default_factory=list)
 
     @classmethod
     def from_failure(
@@ -171,6 +177,8 @@ class FailureReport:
             error=str(exc),
             error_type=type(exc).__qualname__,
             post_mortem=rendered,
+            fault_spec=getattr(exc, "fault_spec", None),
+            dead_routers=sorted(getattr(exc, "dead_routers", ()) or ()),
         )
 
     def as_dict(self) -> dict:
@@ -184,6 +192,8 @@ class FailureReport:
             "error": self.error,
             "error_type": self.error_type,
             "post_mortem": self.post_mortem,
+            "fault_spec": self.fault_spec,
+            "dead_routers": self.dead_routers,
         }
 
 

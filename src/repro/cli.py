@@ -33,11 +33,21 @@ Robustness flags (before the command; see ``docs/fault_model.md``)::
     python -m repro.cli --strict-invariants headline
     python -m repro.cli --faults "punch_drop,rate=0.5;seed=7" fig12
     python -m repro.cli --strict-invariants --watchdog 50000 baselines
+    python -m repro.cli --reroute --faults "router_stall,router=27" fig12
+    python -m repro.cli --degradation drop --dead-router-threshold 500 fig13
 
 ``--faults`` injects a deterministic fault schedule into every network
 the experiment builds; ``--strict-invariants`` runs the per-cycle
 invariant checker and deadlock watchdog (bound adjustable with
-``--watchdog``), aborting on the first violation.
+``--watchdog``), aborting on the first violation.  ``--degradation``
+overrides every network's graceful-degradation mode (``none``,
+``drop``, ``reroute``, ``fail_fast``; ``--reroute`` is shorthand for
+``--degradation reroute``) and ``--dead-router-threshold`` the number
+of continuously stalled cycles before a router is declared dead.
+
+Monte-Carlo reliability campaigns (``docs/resilience.md``)::
+
+    python -m repro.cli reliability --samples 200 --workers 4
 """
 
 from __future__ import annotations
@@ -57,6 +67,7 @@ from .experiments import (
     fig12,
     fig13,
     parsec_suite,
+    reliability,
     scalability,
     table1,
 )
@@ -73,7 +84,11 @@ _COMMANDS = {
     "ablations": ablations.main,
     "baselines": baselines_compare.main,
     "headline": headline.main,
+    "reliability": reliability.main,
 }
+
+#: Valid values for the global ``--degradation`` override.
+_DEGRADATION_MODES = ("none", "drop", "reroute", "fail_fast")
 
 
 def _run_all(argv: Sequence[str]) -> None:
@@ -125,13 +140,25 @@ def _run_all(argv: Sequence[str]) -> None:
 
 def _split_robustness_flags(
     argv: List[str],
-) -> Tuple[List[str], Optional[str], bool, Optional[int]]:
-    """Extract the global ``--faults``/``--strict-invariants``/``--watchdog``
-    flags (valid anywhere before the command) from ``argv``."""
+) -> Tuple[List[str], Optional[str], bool, Optional[int], Optional[str], Optional[int]]:
+    """Extract the global robustness flags (``--faults``,
+    ``--strict-invariants``, ``--watchdog``, ``--degradation`` /
+    ``--reroute``, ``--dead-router-threshold``; valid anywhere before
+    the command) from ``argv``."""
     rest: List[str] = []
     fault_spec: Optional[str] = None
     strict = False
     watchdog: Optional[int] = None
+    degradation: Optional[str] = None
+    dead_threshold: Optional[int] = None
+
+    def parse_int(flag: str, value: str) -> int:
+        try:
+            return int(value)
+        except ValueError:
+            raise SystemExit(f"{flag} expects an integer, got {value!r}")
+
+    valued = ("--faults", "--watchdog", "--degradation", "--dead-router-threshold")
     i = 0
     while i < len(argv):
         arg = argv[i]
@@ -139,48 +166,64 @@ def _split_robustness_flags(
             rest.append(arg)
         elif arg == "--strict-invariants":
             strict = True
-        elif arg == "--faults" or arg == "--watchdog":
-            if i + 1 >= len(argv):
-                raise SystemExit(f"{arg} requires a value")
-            value = argv[i + 1]
-            i += 1
-            if arg == "--faults":
+        elif arg == "--reroute":
+            degradation = "reroute"
+        elif arg in valued or (
+            arg.startswith("--") and arg.split("=", 1)[0] in valued
+        ):
+            flag, sep, value = arg.partition("=")
+            if not sep:
+                if i + 1 >= len(argv):
+                    raise SystemExit(f"{flag} requires a value")
+                value = argv[i + 1]
+                i += 1
+            if flag == "--faults":
                 fault_spec = value
+            elif flag == "--watchdog":
+                watchdog = parse_int(flag, value)
+            elif flag == "--degradation":
+                if value not in _DEGRADATION_MODES:
+                    raise SystemExit(
+                        f"--degradation expects one of {_DEGRADATION_MODES}, "
+                        f"got {value!r}"
+                    )
+                degradation = value
             else:
-                try:
-                    watchdog = int(value)
-                except ValueError:
-                    raise SystemExit(f"--watchdog expects an integer, got {value!r}")
-        elif arg.startswith("--faults="):
-            fault_spec = arg.split("=", 1)[1]
-        elif arg.startswith("--watchdog="):
-            try:
-                watchdog = int(arg.split("=", 1)[1])
-            except ValueError:
-                raise SystemExit(f"bad --watchdog value in {arg!r}")
+                dead_threshold = parse_int(flag, value)
         else:
             rest.append(arg)
         i += 1
-    return rest, fault_spec, strict, watchdog
+    return rest, fault_spec, strict, watchdog, degradation, dead_threshold
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """Dispatch a CLI command (see module docstring for the list)."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    argv, fault_spec, strict, watchdog = _split_robustness_flags(argv)
+    argv, fault_spec, strict, watchdog, degradation, dead_threshold = (
+        _split_robustness_flags(argv)
+    )
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
         print("commands:", ", ".join(sorted(_COMMANDS)), ", all")
         return
     command, rest = argv[0], argv[1:]
-    robustness = fault_spec is not None or strict
+    robustness = (
+        fault_spec is not None
+        or strict
+        or degradation is not None
+        or dead_threshold is not None
+    )
     if robustness:
-        set_ambient(fault_spec, strict, watchdog)
+        set_ambient(fault_spec, strict, watchdog, degradation, dead_threshold)
         notice = []
         if fault_spec is not None:
             notice.append(f"fault schedule {fault_spec!r}")
         if strict:
             notice.append("strict invariant checking")
+        if degradation is not None:
+            notice.append(f"degradation={degradation}")
+        if dead_threshold is not None:
+            notice.append(f"dead-router threshold {dead_threshold}")
         print(f"[robustness] {', '.join(notice)} enabled for all networks")
     try:
         if command == "all":

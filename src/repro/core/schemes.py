@@ -122,6 +122,10 @@ class PowerGatedScheme(PowerPolicy):
             PowerGateController(node, self.wakeup_latency, self.timeout)
             for node in range(cfg.num_nodes)
         ]
+        for controller in self.controllers:
+            # Mirror retry events into the network-wide counters so
+            # campaign dumps see them without walking controllers.
+            controller.stats = network.stats
         self._active = cfg.kernel == "active"
         self._faulted = False
         self._armed = set(range(cfg.num_nodes))
@@ -133,7 +137,12 @@ class PowerGatedScheme(PowerPolicy):
             for controller in self.controllers:
                 controller.clock = self._controller_clock
                 controller.wake_hook = self._armed.add
-        self.fabric = PunchFabric(network.routing, self._on_punch)
+        # Punch targets are always derived from the static XY view:
+        # under fault-tolerant rerouting the live routing tables change
+        # when routers die, but the fabric memoizes decompositions and
+        # the paper's punch horizon is a property of the dimension-order
+        # baseline — ``static_view`` is the pure-XY twin either way.
+        self.fabric = PunchFabric(network.routing.static_view, self._on_punch)
         # Punch routing is static: memoizing the per-(router, targets)
         # relay decomposition is behavior-exact, but it is gated to the
         # active kernel so the naive kernel stays a faithful seed-cost
@@ -143,7 +152,7 @@ class PowerGatedScheme(PowerPolicy):
         # every cycle; memoize per (current, destination) at the fixed
         # punch horizon.
         ahead_cache: Dict[tuple, int] = {}
-        routing_ahead = network.routing.router_ahead
+        routing_ahead = network.routing.static_view.router_ahead
         hops = self.punch_hops
 
         def cached_ahead(current: int, destination: int, _hops: int) -> int:
@@ -351,7 +360,10 @@ class PowerGatedScheme(PowerPolicy):
                     controller.step(cycle, empty, ni_wants)
                     state = controller.state
                     if state is PGState.OFF:
-                        armed.discard(node)
+                        if controller.retry_at is None:
+                            armed.discard(node)
+                        # else: a pending wakeup retry needs per-cycle
+                        # OFF steps until its deadline fires.
                     elif self._faulted:
                         # Fault dispositions are drawn per delivered
                         # wakeup request, so controllers must stay on

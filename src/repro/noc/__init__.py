@@ -14,11 +14,13 @@ from .errors import (
 )
 from .faults import (
     FAULT_KINDS,
+    SAMPLABLE_FAULT_KINDS,
     FaultEvent,
     FaultInjector,
     FaultSchedule,
     FaultSpec,
     clear_ambient,
+    sample_fault_schedule,
     set_ambient,
 )
 from .invariants import InvariantChecker, PostMortem
@@ -36,7 +38,7 @@ from .packet import (
 )
 from .policy import AlwaysOnPolicy, PowerPolicy
 from .router import Router
-from .routing import XYRouting
+from .routing import FaultTolerantRouting, XYRouting
 from .stats import DroppedPacket, NetworkStats
 from .topology import ALL_DIRECTIONS, MESH_DIRECTIONS, Direction, MeshTopology
 
@@ -57,6 +59,7 @@ __all__ = [
     "FaultSchedule",
     "FaultSpec",
     "FaultSpecError",
+    "FaultTolerantRouting",
     "Flit",
     "InvariantChecker",
     "InvariantViolation",
@@ -72,6 +75,7 @@ __all__ = [
     "PostMortem",
     "PowerPolicy",
     "Router",
+    "SAMPLABLE_FAULT_KINDS",
     "SimulationError",
     "TopologyError",
     "VirtualNetwork",
@@ -79,5 +83,6 @@ __all__ = [
     "clear_ambient",
     "control_packet",
     "data_packet",
+    "sample_fault_schedule",
     "set_ambient",
 ]

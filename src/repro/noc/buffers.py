@@ -38,6 +38,7 @@ class VirtualChannel:
         "state",
         "route",
         "out_vc",
+        "owner_packet",
         "va_eligible_at",
         "sa_eligible_at",
     )
@@ -56,6 +57,13 @@ class VirtualChannel:
         self.route: Optional[Direction] = None
         #: Downstream VC allocated to the current packet.
         self.out_vc: Optional[int] = None
+        #: ``packet_id`` holding this VC's allocation (set at head
+        #: activation, cleared with the rest of the allocation state).
+        #: The graceful-degradation purge needs it: a mid-packet VC can
+        #: be ACTIVE with an *empty* buffer (every arrived flit already
+        #: forwarded, tail still in flight), and only this field then
+        #: ties the allocation to the packet being purged.
+        self.owner_packet: Optional[int] = None
         self.va_eligible_at = 0
         self.sa_eligible_at = 0
 
@@ -101,6 +109,7 @@ class VirtualChannel:
         self.state = VCState.IDLE
         self.route = None
         self.out_vc = None
+        self.owner_packet = None
 
 
 class InputPort:

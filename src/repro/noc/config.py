@@ -49,8 +49,12 @@ class NoCConfig:
     #: stalled router to the deadlock watchdog; ``"drop"`` purges the
     #: packets blocked behind a dead router (accounted as
     #: ``DroppedPacket`` stats) and keeps the rest of the mesh live;
-    #: ``"fail_fast"`` raises ``DegradedNetworkError`` with the blast
-    #: radius the moment a router is declared dead.
+    #: ``"reroute"`` switches to deadlock-free fault-tolerant routing
+    #: (``repro.noc.routing.FaultTolerantRouting``) that detours live
+    #: traffic around dead routers, refusing only genuinely
+    #: unreachable destinations; ``"fail_fast"`` raises
+    #: ``DegradedNetworkError`` with the blast radius the moment a
+    #: router is declared dead.
     degradation: str = "none"
     #: Cycles a ``router_stall`` fault window must stay continuously
     #: open before the router is declared permanently dead (only
@@ -62,8 +66,10 @@ class NoCConfig:
             raise ValueError("router_stages must be 3 or 4")
         if self.kernel not in ("active", "naive"):
             raise ValueError("kernel must be 'active' or 'naive'")
-        if self.degradation not in ("none", "drop", "fail_fast"):
-            raise ValueError("degradation must be 'none', 'drop' or 'fail_fast'")
+        if self.degradation not in ("none", "drop", "reroute", "fail_fast"):
+            raise ValueError(
+                "degradation must be 'none', 'drop', 'reroute' or 'fail_fast'"
+            )
         if self.dead_router_threshold < 1:
             raise ValueError("dead_router_threshold must be positive")
         if self.vcs_per_vnet < 1:

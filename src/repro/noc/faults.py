@@ -156,6 +156,33 @@ class FaultSchedule:
         """A copy of this schedule under a different seed."""
         return replace(self, seed=seed)
 
+    def to_spec(self) -> str:
+        """Render back to the compact ``--faults`` grammar.
+
+        Round-trips through :meth:`parse`; used by quarantine
+        post-mortems so a reroute/deadlock failure is reproducible from
+        the report alone.
+        """
+        clauses = []
+        for spec in self.specs:
+            fields_ = [spec.kind]
+            if spec.rate != 1.0:
+                fields_.append(f"rate={spec.rate}")
+            if spec.router is not None:
+                fields_.append(f"router={spec.router}")
+            if spec.start != 0:
+                fields_.append(f"start={spec.start}")
+            if spec.end is not None:
+                fields_.append(f"end={spec.end}")
+            if spec.delay != 1:
+                fields_.append(f"delay={spec.delay}")
+            if spec.count is not None:
+                fields_.append(f"count={spec.count}")
+            clauses.append(",".join(fields_))
+        if self.seed:
+            clauses.append(f"seed={self.seed}")
+        return ";".join(clauses)
+
     def kinds(self) -> List[str]:
         """Distinct fault kinds present in the schedule."""
         seen: Dict[str, None] = {}
@@ -331,40 +358,144 @@ class FaultInjector:
 
 
 # ----------------------------------------------------------------------
+# Monte-Carlo fault-spec sampling (reliability campaigns)
+# ----------------------------------------------------------------------
+#: Fault kinds a reliability trial may sample (liveness faults plus the
+#: permanent-death trigger; the safety faults exist to be *caught* by
+#: the invariant checker and would dominate every estimate with
+#: guaranteed failures).
+SAMPLABLE_FAULT_KINDS = (
+    "punch_drop",
+    "punch_dup",
+    "punch_delay",
+    "wakeup_fail",
+    "wakeup_delay",
+    "router_stall",
+)
+
+
+def sample_fault_schedule(
+    seed: int,
+    num_nodes: int,
+    *,
+    kinds: Tuple[str, ...] = SAMPLABLE_FAULT_KINDS,
+    max_faults: int = 2,
+    horizon: int = 200,
+    rate_lo: float = 0.05,
+    rate_hi: float = 0.5,
+    max_delay: int = 8,
+) -> FaultSchedule:
+    """Draw one fault schedule from a seeded distribution.
+
+    This is the Monte-Carlo sampling step of the reliability
+    campaigns: every trial seed maps deterministically to one concrete
+    :class:`FaultSchedule` (clause count, kinds, routers, rates,
+    windows and the injector's own RNG seed all derive from ``seed``),
+    so estimates are exactly reproducible and individual failures can
+    be replayed from the rendered :meth:`FaultSchedule.to_spec` string
+    alone.
+
+    ``router_stall`` clauses are always router-specific and permanent
+    (open-ended window starting inside ``horizon``) — the shape the
+    dead-router detector promotes to a death.  Rate-based kinds get a
+    rate uniform in ``[rate_lo, rate_hi]`` (rounded so the spec string
+    round-trips) and delay-based kinds a delay in ``[1, max_delay]``.
+    """
+    if max_faults < 1:
+        raise FaultSpecError("max_faults must be at least 1")
+    rng = random.Random(seed)
+    specs = []
+    for _ in range(rng.randint(1, max_faults)):
+        kind = rng.choice(list(kinds))
+        if kind == "router_stall":
+            specs.append(
+                FaultSpec(
+                    kind=kind,
+                    router=rng.randrange(num_nodes),
+                    start=rng.randrange(horizon),
+                )
+            )
+            continue
+        kwargs = {
+            "rate": round(rng.uniform(rate_lo, rate_hi), 4),
+            "start": rng.randrange(horizon),
+        }
+        if rng.random() < 0.5:
+            kwargs["router"] = rng.randrange(num_nodes)
+        if kind.endswith("_delay"):
+            kwargs["delay"] = rng.randint(1, max_delay)
+        specs.append(FaultSpec(kind=kind, **kwargs))
+    return FaultSchedule(specs=specs, seed=rng.randrange(1 << 30))
+
+
+# ----------------------------------------------------------------------
 # Ambient (process-wide) robustness configuration
 # ----------------------------------------------------------------------
-#: The CLI's global ``--faults`` / ``--strict-invariants`` flags must
-#: reach networks constructed arbitrarily deep inside experiment
-#: harnesses without threading parameters through every call site, so
-#: they are staged here and consulted by ``Network.__init__``.
+#: The CLI's global ``--faults`` / ``--strict-invariants`` /
+#: ``--degradation`` flags must reach networks constructed arbitrarily
+#: deep inside experiment harnesses without threading parameters
+#: through every call site, so they are staged here and consulted by
+#: ``Network.__init__``.
 _ambient_fault_spec: Optional[str] = None
 _ambient_strict_invariants: bool = False
 _ambient_watchdog: Optional[int] = None
+_ambient_degradation: Optional[str] = None
+_ambient_dead_threshold: Optional[int] = None
 
 
 def set_ambient(
     fault_spec: Optional[str] = None,
     strict_invariants: bool = False,
     watchdog: Optional[int] = None,
+    degradation: Optional[str] = None,
+    dead_router_threshold: Optional[int] = None,
 ) -> None:
     """Configure robustness features for every subsequently built network.
 
     ``fault_spec`` is validated eagerly so a bad ``--faults`` string
-    fails fast instead of mid-experiment.
+    fails fast instead of mid-experiment.  ``degradation`` /
+    ``dead_router_threshold``, when not ``None``, override the
+    corresponding ``NoCConfig`` fields of every subsequently built
+    network (the CLI's ``--degradation`` / ``--reroute`` /
+    ``--dead-router-threshold`` knobs).
     """
     global _ambient_fault_spec, _ambient_strict_invariants, _ambient_watchdog
+    global _ambient_degradation, _ambient_dead_threshold
     if fault_spec is not None:
         FaultSchedule.parse(fault_spec)
+    if degradation is not None and degradation not in (
+        "none",
+        "drop",
+        "reroute",
+        "fail_fast",
+    ):
+        raise FaultSpecError(
+            f"unknown degradation mode {degradation!r}; expected "
+            "'none', 'drop', 'reroute' or 'fail_fast'"
+        )
+    if dead_router_threshold is not None and dead_router_threshold < 1:
+        raise FaultSpecError("dead_router_threshold must be positive")
     _ambient_fault_spec = fault_spec
     _ambient_strict_invariants = strict_invariants
     _ambient_watchdog = watchdog
+    _ambient_degradation = degradation
+    _ambient_dead_threshold = dead_router_threshold
 
 
 def clear_ambient() -> None:
     """Reset the ambient robustness configuration."""
-    set_ambient(None, False, None)
+    set_ambient(None, False, None, None, None)
 
 
-def ambient_config() -> Tuple[Optional[str], bool, Optional[int]]:
-    """The staged ``(fault_spec, strict_invariants, watchdog)`` triple."""
-    return _ambient_fault_spec, _ambient_strict_invariants, _ambient_watchdog
+def ambient_config() -> Tuple[
+    Optional[str], bool, Optional[int], Optional[str], Optional[int]
+]:
+    """The staged ``(fault_spec, strict_invariants, watchdog,
+    degradation, dead_router_threshold)`` tuple."""
+    return (
+        _ambient_fault_spec,
+        _ambient_strict_invariants,
+        _ambient_watchdog,
+        _ambient_degradation,
+        _ambient_dead_threshold,
+    )

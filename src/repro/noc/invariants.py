@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from .buffers import VCState
-from .errors import DeadlockError, InvariantViolation
+from .errors import DeadlockError, InvariantViolation, SimulationError
 from .topology import Direction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -448,6 +448,7 @@ class InvariantChecker:
             cycle=cycle,
             packet=stuck[0].packet_id,
         )
+        self.network.attach_fault_context(error)
         if self.strict:
             raise error
         self.violations.append(error)
@@ -500,13 +501,23 @@ class InvariantChecker:
         )
 
     def _route_of(self, packet: "Packet") -> List[int]:
-        """XY route of ``packet``, source to destination inclusive."""
+        """Current route of ``packet``, source to destination inclusive.
+
+        Post-mortems run while the network may already be degraded:
+        fault-tolerant routing can legitimately refuse an unreachable
+        endpoint (``SimulationError``), and the walk is length-bounded
+        so a diagnostic dump can never itself hang.
+        """
         routing = self.network.routing
         route = [packet.source]
         current = packet.source
-        while current != packet.destination:
-            current = routing.next_hop(current, packet.destination)
-            route.append(current)
+        limit = 2 * self.network.config.num_nodes
+        try:
+            while current != packet.destination and len(route) <= limit:
+                current = routing.next_hop(current, packet.destination)
+                route.append(current)
+        except SimulationError:
+            route.append(-1)  # truncated: endpoint became unreachable
         return route
 
     def _router_dump(self, router) -> dict:

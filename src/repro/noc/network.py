@@ -50,7 +50,7 @@ from .network_interface import NetworkInterface
 from .packet import Flit, Packet
 from .policy import AlwaysOnPolicy, PowerPolicy
 from .router import Router
-from .routing import XYRouting
+from .routing import FaultTolerantRouting, XYRouting
 from .stats import NetworkStats
 from .topology import Direction, MeshTopology
 
@@ -77,7 +77,31 @@ class Network:
     ) -> None:
         self.config = config
         self.topology = MeshTopology(config.width, config.height)
-        self.routing = XYRouting(self.topology)
+        # The ambient --degradation/--dead-router-threshold overrides
+        # must be known before routers are built: reroute mode swaps in
+        # the fault-tolerant routing function, and every router holds a
+        # reference to the routing object.
+        (
+            _spec,
+            _strict,
+            _watchdog,
+            ambient_degradation,
+            ambient_threshold,
+        ) = ambient_config()
+        self._degradation = (
+            ambient_degradation
+            if ambient_degradation is not None
+            else config.degradation
+        )
+        self._dead_threshold = (
+            ambient_threshold
+            if ambient_threshold is not None
+            else config.dead_router_threshold
+        )
+        if self._degradation == "reroute":
+            self.routing: XYRouting = FaultTolerantRouting(self.topology)
+        else:
+            self.routing = XYRouting(self.topology)
         self.policy = policy if policy is not None else AlwaysOnPolicy()
         self.cycle = 0
         self.stats = NetworkStats()
@@ -127,9 +151,9 @@ class Network:
         #: Graceful-degradation state (see _check_degradation): routers
         #: declared permanently dead, and a memo of which (start, dest)
         #: XY walks cross one (cleared whenever the dead set grows).
+        #: ``_degradation``/``_dead_threshold`` were resolved above
+        #: (config fields plus ambient CLI overrides).
         self.dead_routers: Set[int] = set()
-        self._degradation = config.degradation
-        self._dead_threshold = config.dead_router_threshold
         self._route_crosses_dead: Dict[Tuple[int, int], bool] = {}
         # Context for the bound-method SA sinks (see _run_switch_allocation).
         self._sa_router: Optional[Router] = None
@@ -143,7 +167,9 @@ class Network:
     def _apply_ambient_robustness(self) -> None:
         """Honor the process-wide ``--faults`` / ``--strict-invariants``
         configuration staged via :func:`repro.noc.faults.set_ambient`."""
-        fault_spec, strict_invariants, watchdog = ambient_config()
+        fault_spec, strict_invariants, watchdog, _degradation, _threshold = (
+            ambient_config()
+        )
         if fault_spec is not None:
             self.install_faults(FaultInjector(FaultSchedule.parse(fault_spec)))
         if strict_invariants:
@@ -175,16 +201,25 @@ class Network:
     # ------------------------------------------------------------------
     def inject(self, packet: Packet) -> None:
         """Hand a freshly created message to its source NI this cycle."""
-        if (
-            self.dead_routers
-            and self._degradation == "drop"
-            and self._crosses_dead(packet.source, packet.destination)
+        if self.dead_routers and (
+            (
+                self._degradation == "drop"
+                and self._crosses_dead(packet.source, packet.destination)
+            )
+            or (
+                self._degradation == "reroute"
+                and not self.routing.reachable(packet.source, packet.destination)
+            )
         ):
-            # The packet would wedge behind a dead router; refuse it at
-            # the door with full accounting instead of letting it (and
-            # everything behind it) pile up until the watchdog fires.
-            # Refused packets are never record_injection()'d, so they
-            # land in the refused_* subset of the drop counters.
+            # Under "drop" the packet would wedge behind a dead router;
+            # under "reroute" only genuinely unreachable endpoints are
+            # refused (dead source/destination, or a node the fault cut
+            # off from the live component) — everything else detours.
+            # Either way: refuse at the door with full accounting
+            # instead of letting it (and everything behind it) pile up
+            # until the watchdog fires.  Refused packets are never
+            # record_injection()'d, so they land in the refused_*
+            # subset of the drop counters.
             packet.created_at = self.cycle
             self.stats.record_refusal(packet, self.cycle, self.dead_routers)
             if self.invariants is not None:
@@ -273,6 +308,7 @@ class Network:
                     cycle=self.cycle,
                 )
                 error.post_mortem = post_mortem
+                self.attach_fault_context(error)
                 if post_mortem is not None:
                     error.args = (f"{error.args[0]}\n{post_mortem.render()}",)
                 raise error
@@ -369,17 +405,22 @@ class Network:
         if ejections:
             interfaces = self.interfaces
             hop_distance = self.topology.hop_distance
-            record_delivery = self.stats.record_delivery
+            stats = self.stats
+            record_delivery = stats.record_delivery
             for node, flit in ejections:
                 if invariants is not None:
                     invariants.on_flit_ejected(node, flit, cycle)
                 interfaces[node].eject_flit(flit, cycle)
                 if flit.is_tail:
                     packet = flit.packet
-                    record_delivery(
-                        packet,
-                        hop_distance(packet.source, packet.destination),
-                    )
+                    hops = hop_distance(packet.source, packet.destination)
+                    record_delivery(packet, hops)
+                    detour = packet.hops_taken - hops
+                    if detour > 0:
+                        # Only fault-tolerant rerouting produces
+                        # non-minimal paths; XY keeps this branch cold.
+                        stats.rerouted_packets += 1
+                        stats.detour_hops += detour
 
     def _deliver_credits(self, cycle: int) -> None:
         events = self._credit_events.pop(cycle, None)
@@ -469,6 +510,8 @@ class Network:
                     vc=out_vc, packet=flit.packet.packet_id,
                 )
             self.stats.link_traversals += 1
+            if flit.is_head:
+                flit.packet.hops_taken += 1
             self.routers[neighbor].incoming_in_flight += 1
             self._flit_events[cycle + _SA_TO_ARRIVAL].append(
                 (neighbor, out_dir.opposite, out_vc, flit)
@@ -520,7 +563,13 @@ class Network:
         ``drop`` purges every packet whose remaining route crosses a
         dead router — with full credit/ownership restoration, so the
         strict invariant checker stays green — and keeps the rest of
-        the mesh live.
+        the mesh live.  ``reroute`` keeps traffic flowing instead:
+        only packets physically stuck in (or flying toward, or
+        unreachable past) the dead routers are purged, every surviving
+        head flit's route is recomputed against the rebuilt
+        fault-tolerant tables, and the tables' channel-dependency
+        graph is re-certified acyclic whenever an invariant checker is
+        installed.
         """
         newly = [
             rid
@@ -538,9 +587,12 @@ class Network:
                     cycle, "router-dead", rid,
                     f"stalled >= {self._dead_threshold} cycles",
                 )
+        if self._degradation == "reroute":
+            self._apply_reroute(cycle)
+            return
         doomed = self._blast_radius()
         if self._degradation == "fail_fast":
-            raise DegradedNetworkError(
+            error = DegradedNetworkError(
                 f"router(s) {newly} declared permanently dead after "
                 f"{self._dead_threshold} continuously stalled cycles",
                 dead_routers=sorted(self.dead_routers),
@@ -548,8 +600,130 @@ class Network:
                 cycle=cycle,
                 router=newly[0],
             )
+            self.attach_fault_context(error)
+            raise error
         if doomed:
             self._purge_doomed(doomed, cycle)
+
+    def attach_fault_context(self, error: Exception) -> None:
+        """Stamp ``error`` with the fault spec and dead-router set.
+
+        The supervised campaign executor copies both into the
+        quarantine ``reports/<key>.json`` post-mortem, so a reroute or
+        deadlock failure is reproducible from the report alone.
+        """
+        if getattr(error, "fault_spec", None) is None and self.faults is not None:
+            error.fault_spec = self.faults.schedule.to_spec()
+        if not getattr(error, "dead_routers", None):
+            error.dead_routers = tuple(sorted(self.dead_routers))
+
+    def _apply_reroute(self, cycle: int) -> None:
+        """Route live traffic around the (grown) dead set.
+
+        Order matters: the tables are rebuilt first (and certified
+        deadlock-free under the strict checker), then packets that
+        cannot be saved — a flit buffered in or flying toward a dead
+        router, or an endpoint the fault disconnected — are purged
+        with full accounting, and finally every surviving buffered
+        head flit re-resolves its output port against the new tables
+        (releasing any downstream VC grant that pointed the old way).
+        """
+        routing = self.routing
+        routing.set_dead(frozenset(self.dead_routers))
+        if self.invariants is not None:
+            routing.verify_deadlock_free()
+        doomed = self._stranded_packets()
+        if doomed:
+            self._purge_doomed(doomed, cycle)
+        self._recompute_head_routes(cycle)
+
+    def _stranded_packets(self) -> Dict[int, Packet]:
+        """Packets fault-tolerant rerouting cannot save.
+
+        Far narrower than :meth:`_blast_radius`: a packet is stranded
+        only if one of its flits sits inside (or flies toward) a dead
+        router, or if its current location / destination fell outside
+        the live component — merely *routing through* the dead region
+        is cured by the detour instead.
+        """
+        dead = self.dead_routers
+        reachable = self.routing.reachable
+        doomed: Dict[int, Packet] = {}
+
+        def doom(packet: Packet) -> None:
+            doomed.setdefault(packet.packet_id, packet)
+
+        for ni in self.interfaces:
+            node = ni.node
+            for queue in ni.queues:
+                for packet in queue:
+                    if not reachable(node, packet.destination):
+                        doom(packet)
+            for stream in ni.streams.values():
+                if not reachable(node, stream.packet.destination):
+                    doom(stream.packet)
+        for router in self.routers:
+            rid = router.router_id
+            in_dead = rid in dead
+            for vc in router._occupied:
+                for flit in vc.flits:
+                    if in_dead or not reachable(rid, flit.packet.destination):
+                        doom(flit.packet)
+        for events in self._flit_events.values():
+            for router_id, _direction, _vc, flit in events:
+                if router_id in dead or not reachable(
+                    router_id, flit.packet.destination
+                ):
+                    doom(flit.packet)
+        return doomed
+
+    def _recompute_head_routes(self, cycle: int) -> None:
+        """Re-resolve every surviving front head flit's output port.
+
+        A head still waiting for VA simply re-reads the table; a head
+        whose VA grant pointed toward the dead region gives the
+        downstream VC back and restarts from VA.  Flits of packets
+        whose head already departed keep following it — the committed
+        hop is live (packets with flits in or toward dead routers were
+        purged first) and the head reroutes from wherever it is now.
+        """
+        routing = self.routing
+        dead = self.dead_routers
+        for router in self.routers:
+            rid = router.router_id
+            if rid in dead or not router._occupied:
+                continue
+            touched = False
+            for vc in router._occupied:
+                front = vc.front
+                if front is None or not front.is_head:
+                    continue
+                new_route = routing.output_direction(
+                    rid, front.packet.destination
+                )
+                if new_route == vc.route:
+                    continue
+                if (
+                    vc.state is VCState.ACTIVE
+                    and vc.route is not None
+                    and vc.out_vc is not None
+                ):
+                    out_port = router.output_ports[vc.route]
+                    if out_port.owner[vc.out_vc] == (
+                        vc.port_direction,
+                        vc.vc_index,
+                    ):
+                        out_port.owner[vc.out_vc] = None
+                vc.route = new_route
+                vc.out_vc = None
+                vc.state = VCState.WAIT_VA
+                vc.va_eligible_at = max(cycle + 1, vc.front_arrival() + 1)
+                if vc.va_eligible_at < router._va_wake_at:
+                    router._va_wake_at = vc.va_eligible_at
+                router.head_version += 1
+                touched = True
+            if touched and router._sa_wake_at > cycle + 1:
+                router._sa_wake_at = cycle + 1
 
     def _blast_radius(self) -> Dict[int, Packet]:
         """Live packets whose remaining route crosses a dead router.
@@ -640,9 +814,8 @@ class Network:
                 self._flit_events[when] = kept_events
             else:
                 del self._flit_events[when]
-        # Buffered flits: filter each touched VC, restore one upstream
-        # credit per removed flit, and release the allocation state the
-        # doomed front packet held.
+        # Buffered flits: filter each touched VC and restore one
+        # upstream credit per removed flit.
         for router in self.routers:
             touched = [
                 vc
@@ -650,7 +823,6 @@ class Network:
                 if any(f.packet.packet_id in doomed for f in vc.flits)
             ]
             for vc in touched:
-                front_doomed = vc.flits[0].packet.packet_id in doomed
                 kept_pairs = []
                 for flit, arrival in zip(vc.flits, vc.arrivals):
                     if flit.packet.packet_id in doomed:
@@ -667,11 +839,25 @@ class Network:
                     vc.flits.append(flit)
                     vc.arrivals.append(arrival)
                 router.head_version += 1
-                if front_doomed:
-                    # The VC's route/out_vc (and the downstream VC
-                    # ownership, if VA was granted) belonged to the
-                    # purged packet; a surviving follow-on packet's head
-                    # restarts from VA.
+                if not vc.flits:
+                    router._occupied.pop(vc, None)
+            # Release every allocation a doomed packet still holds.
+            # This sweep is keyed on ``vc.owner_packet``, NOT on the
+            # buffered flits: a mid-packet VC can be ACTIVE with an
+            # empty buffer (every arrived flit already forwarded, the
+            # rest still in flight) — such a VC appears in neither
+            # ``_occupied`` nor ``touched``, but its route/out_vc and
+            # the downstream VC ownership still belong to the purged
+            # packet and would otherwise leak.  A surviving follow-on
+            # packet's head restarts from VA.
+            released = False
+            for port in router.input_ports.values():
+                for vc in port.vcs:
+                    if (
+                        vc.state is VCState.IDLE
+                        or vc.owner_packet not in doomed
+                    ):
+                        continue
                     if (
                         vc.state is VCState.ACTIVE
                         and vc.route is not None
@@ -684,11 +870,11 @@ class Network:
                         ):
                             out_port.owner[vc.out_vc] = None
                     vc.reset_for_next_packet()
+                    router.head_version += 1
+                    released = True
                     if vc.flits:
                         router._activate_front(vc, cycle)
-                if not vc.flits:
-                    router._occupied.pop(vc, None)
-            if touched:
+            if touched or released:
                 # Conservative allocator wake-up: surviving fronts may
                 # have become eligible by the purge.
                 if router._va_wake_at > cycle + 1:

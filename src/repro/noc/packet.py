@@ -70,6 +70,10 @@ class Packet:
     #: Total cycles this packet stalled waiting for router wakeup
     #: (Fig. 10 metric).
     wakeup_wait_cycles: int = 0
+    #: Router-to-router links actually traversed (head-flit departures
+    #: toward a neighbor).  Equals the minimal hop distance under XY;
+    #: the surplus is the detour length under fault-tolerant rerouting.
+    hops_taken: int = 0
 
     @property
     def network_latency(self) -> Optional[int]:

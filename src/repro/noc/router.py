@@ -162,6 +162,7 @@ class Router:
             self.router_id, head.packet.destination
         )
         vc.out_vc = None
+        vc.owner_packet = head.packet.packet_id
         vc.va_eligible_at = max(cycle + 1, vc.front_arrival() + 1)
         if vc.va_eligible_at < self._va_wake_at:
             self._va_wake_at = vc.va_eligible_at

@@ -66,6 +66,18 @@ class NetworkStats:
     #: because their route crossed a dead router (never injected).
     refused_packets: int = 0
     refused_flits: int = 0
+    #: Fault-tolerance counters.  ``wakeup_retries`` counts wakeup
+    #: requests re-issued by the PG controllers' retry/backoff protocol
+    #: after a ``wakeup_fail`` fault swallowed the original.
+    #: ``rerouted_packets``/``detour_hops`` count packets delivered
+    #: over a non-minimal path (and their extra hops) under
+    #: ``degradation="reroute"``.  Like the drop counters these are
+    #: exceptional events and counted unconditionally (warmup or not);
+    #: under plain XY every path is minimal, so all three stay 0 for
+    #: every non-reroute, non-faulted configuration.
+    wakeup_retries: int = 0
+    rerouted_packets: int = 0
+    detour_hops: int = 0
     drops: List[DroppedPacket] = field(default_factory=list)
     latencies: List[int] = field(default_factory=list)
     #: Record individual latencies (disabled for long runs to bound memory).
@@ -144,6 +156,9 @@ class NetworkStats:
             "dropped_flits": self.dropped_flits,
             "refused_packets": self.refused_packets,
             "refused_flits": self.refused_flits,
+            "wakeup_retries": self.wakeup_retries,
+            "rerouted_packets": self.rerouted_packets,
+            "detour_hops": self.detour_hops,
         }
 
     # ------------------------------------------------------------------

@@ -79,6 +79,12 @@ class PowerGateController:
         "faults",
         "clock",
         "wake_hook",
+        "stats",
+        "retry_timeout",
+        "retry_cap",
+        "retry_at",
+        "retry_backoff",
+        "wakeup_retries",
         "_accounted_through",
         "_quiescent_since",
         "_parked_reset_prev",
@@ -97,7 +103,12 @@ class PowerGateController:
     )
 
     def __init__(
-        self, router_id: int, wakeup_latency: int = 8, timeout: int = 4
+        self,
+        router_id: int,
+        wakeup_latency: int = 8,
+        timeout: int = 4,
+        retry_timeout: int = 16,
+        retry_cap: int = 128,
     ) -> None:
         if wakeup_latency < 1:
             raise ValueError("wakeup_latency must be positive")
@@ -105,6 +116,10 @@ class PowerGateController:
             # The paper requires a minimum two-cycle timeout so flits
             # that already left upstream routers land safely.
             raise ValueError("timeout must be at least 2 cycles")
+        if retry_timeout < 1:
+            raise ValueError("retry_timeout must be positive")
+        if retry_cap < retry_timeout:
+            raise ValueError("retry_cap must be >= retry_timeout")
         self.router_id = router_id
         self.wakeup_latency = wakeup_latency
         self.timeout = timeout
@@ -123,6 +138,19 @@ class PowerGateController:
         #: fires whenever the controller leaves OFF.
         self.clock = None
         self.wake_hook = None
+        #: Optional :class:`repro.noc.stats.NetworkStats` mirror for the
+        #: retry counter (wired by the scheme layer so campaign dumps
+        #: see retries without walking every controller).
+        self.stats = None
+        #: Wakeup retry protocol (see :meth:`request_wakeup`): a request
+        #: swallowed by a ``wakeup_fail`` fault while the router is OFF
+        #: is re-issued ``retry_timeout`` cycles later, then with
+        #: doubling backoff bounded by ``retry_cap``.  ``retry_at`` is
+        #: the pending re-issue cycle (None = no retry armed).
+        self.retry_timeout = retry_timeout
+        self.retry_cap = retry_cap
+        self.retry_at: Optional[int] = None
+        self.retry_backoff = 0
         #: Last cycle whose step effects were applied while OFF (real or
         #: lazily accounted); only meaningful in the OFF state.
         self._accounted_through = -1
@@ -157,6 +185,8 @@ class PowerGateController:
         self.cancelled_sleeps = 0
         #: Wakeup requests lost or delayed by the fault injector.
         self.faulted_wakeups = 0
+        #: Wakeup requests re-issued by the retry/backoff protocol.
+        self.wakeup_retries = 0
         self.last_sleep_cycle: Optional[int] = None
         self.off_period_lengths_sum = 0
 
@@ -359,10 +389,23 @@ class PowerGateController:
             action, delay = self.faults.wakeup_disposition(self.router_id, cycle)
             if action == "fail":
                 self.faulted_wakeups += 1
+                if self.state is PGState.OFF and self.retry_at is None:
+                    # The request is gone and the router stays dark:
+                    # without a retry the packet behind it waits for
+                    # the next organic WU, which may never come.  Arm
+                    # the re-issue deadline and (active kernel) keep
+                    # the controller stepping so the deadline fires.
+                    self.retry_at = cycle + self.retry_timeout
+                    self.retry_backoff = self.retry_timeout
+                    if self.wake_hook is not None:
+                        self.wake_hook(self.router_id)
                 return
             if action == "delay":
                 self.faulted_wakeups += 1
                 cycle += delay
+        # A request that got through supersedes any pending retry.
+        self.retry_at = None
+        self.retry_backoff = 0
         self.wu_seen = True
         if expectation_window > 0:
             expect = cycle + expectation_window
@@ -389,6 +432,29 @@ class PowerGateController:
             if self.wake_hook is not None:
                 self.wake_hook(self.router_id)
 
+    def _fire_retry(self, cycle: int) -> None:
+        """Re-issue a wakeup request the fault injector swallowed.
+
+        Each re-issue draws a fresh disposition; a repeated loss
+        re-arms the deadline with doubled (capped) backoff, so a
+        high-rate ``wakeup_fail`` window costs O(log) retries instead
+        of a retry storm, while a recovered injector gets the router
+        waking within one backoff period.  Only *lost* requests retry:
+        a ``wakeup_delay`` fault delivers late but does deliver, so the
+        delayed request itself clears the pending retry.
+        """
+        self.retry_at = None
+        backoff = min(self.retry_backoff * 2, self.retry_cap)
+        self.wakeup_retries += 1
+        if self.stats is not None:
+            self.stats.wakeup_retries += 1
+        self.request_wakeup(cycle, 0)
+        if self.state is PGState.OFF and self.retry_at is not None:
+            # Lost again: the fail path re-armed with the base timeout;
+            # restore the exponential schedule.
+            self.retry_backoff = backoff
+            self.retry_at = cycle + backoff
+
     # ------------------------------------------------------------------
     # Per-cycle FSM update
     # ------------------------------------------------------------------
@@ -411,6 +477,8 @@ class PowerGateController:
             self._off_cycles += 1
             self._accounted_through = cycle
             self.wu_seen = False
+            if self.retry_at is not None and cycle >= self.retry_at:
+                self._fire_retry(cycle)
             return
 
         self._active_cycles += 1

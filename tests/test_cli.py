@@ -51,7 +51,7 @@ class TestDispatch:
 
 class TestRobustnessFlags:
     def test_flags_extracted_before_command(self):
-        rest, spec, strict, watchdog = cli._split_robustness_flags(
+        rest, spec, strict, watchdog, degradation, threshold = cli._split_robustness_flags(
             [
                 "--strict-invariants",
                 "--faults",
@@ -67,7 +67,7 @@ class TestRobustnessFlags:
         assert watchdog is None
 
     def test_equals_forms(self):
-        rest, spec, strict, watchdog = cli._split_robustness_flags(
+        rest, spec, strict, watchdog, degradation, threshold = cli._split_robustness_flags(
             ["--faults=punch_dup", "--watchdog=1234", "headline"]
         )
         assert rest == ["headline"]
@@ -75,7 +75,7 @@ class TestRobustnessFlags:
         assert watchdog == 1234
 
     def test_flags_after_command_pass_through_to_subcommand(self):
-        rest, spec, strict, watchdog = cli._split_robustness_flags(
+        rest, spec, strict, watchdog, degradation, threshold = cli._split_robustness_flags(
             ["fig12", "--strict-invariants"]
         )
         assert rest == ["fig12", "--strict-invariants"]
@@ -96,7 +96,7 @@ class TestRobustnessFlags:
         starts, and leaves no ambient configuration behind."""
         with pytest.raises(FaultSpecError):
             cli.main(["--faults", "frobnicate,rate=0.5", "table1"])
-        assert ambient_config() == (None, False, None)
+        assert ambient_config() == (None, False, None, None, None)
 
 
 class TestRobustnessGolden:
@@ -151,5 +151,5 @@ class TestRobustnessGolden:
         assert checked.invariants.checks_run > 0
 
         # The ambient configuration never leaks past main().
-        assert ambient_config() == (None, False, None)
+        assert ambient_config() == (None, False, None, None, None)
         assert Network(NoCConfig()).invariants is None

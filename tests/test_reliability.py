@@ -1,0 +1,330 @@
+"""Tests for the Monte-Carlo reliability campaign stack.
+
+Covers the seeded fault-schedule sampler, the Wilson confidence
+interval, the ``reliability`` cell kind (payload shape + bit-identical
+determinism), the aggregation/report layer, the fault context carried
+into quarantine post-mortems, and the new robustness CLI flags.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign import CellSpec, FailureReport, run_cell
+from repro.campaign.cli import add_robustness_args, apply_robustness_args
+from repro.campaign.spec import CELL_KINDS
+from repro.experiments.reliability import (
+    aggregate,
+    reliability_campaign,
+    report,
+    wilson_interval,
+)
+from repro.noc import (
+    SAMPLABLE_FAULT_KINDS,
+    FaultSchedule,
+    NoCConfig,
+    clear_ambient,
+    sample_fault_schedule,
+)
+from repro.noc.faults import ambient_config
+
+
+class TestWilsonInterval:
+    def test_textbook_value(self):
+        lo, hi = wilson_interval(45, 100)
+        assert lo == pytest.approx(0.3561, abs=1e-4)
+        assert hi == pytest.approx(0.5476, abs=1e-4)
+
+    def test_zero_successes_touches_zero(self):
+        lo, hi = wilson_interval(0, 6)
+        assert lo == 0.0
+        assert hi == pytest.approx(0.3903, abs=1e-4)
+
+    def test_all_successes_touches_one(self):
+        lo, hi = wilson_interval(6, 6)
+        assert lo == pytest.approx(0.6097, abs=1e-4)
+        assert hi == pytest.approx(1.0)
+
+    def test_no_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            wilson_interval(7, 6)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 6)
+
+    def test_interval_is_inside_unit_and_brackets_p(self):
+        for successes, trials in [(1, 50), (25, 50), (49, 50), (500, 1000)]:
+            lo, hi = wilson_interval(successes, trials)
+            p = successes / trials
+            assert 0.0 <= lo < p < hi <= 1.0
+
+
+class TestFaultSampler:
+    def test_same_seed_is_bit_identical(self):
+        a = sample_fault_schedule(42, 64, max_faults=3, horizon=1000)
+        b = sample_fault_schedule(42, 64, max_faults=3, horizon=1000)
+        assert a.to_spec() == b.to_spec()
+
+    def test_different_seeds_differ(self):
+        specs = {
+            sample_fault_schedule(seed, 64, max_faults=3, horizon=1000).to_spec()
+            for seed in range(20)
+        }
+        assert len(specs) > 10
+
+    def test_samples_only_samplable_kinds_within_bounds(self):
+        for seed in range(30):
+            schedule = sample_fault_schedule(seed, 16, max_faults=4, horizon=500)
+            assert len(schedule.specs) <= 4
+            for spec in schedule.specs:
+                assert spec.kind in SAMPLABLE_FAULT_KINDS
+                assert 0 <= spec.start <= 500
+                if spec.router is not None:
+                    assert 0 <= spec.router < 16
+
+    def test_spec_string_round_trips(self):
+        schedule = sample_fault_schedule(7, 16, max_faults=2, horizon=500)
+        text = schedule.to_spec()
+        assert FaultSchedule.parse(text).to_spec() == text
+
+
+class TestReliabilityCell:
+    def _spec(self, seed=3):
+        config = NoCConfig(
+            width=4,
+            height=4,
+            degradation="reroute",
+            dead_router_threshold=200,
+        )
+        return CellSpec.reliability(
+            seed,
+            injection_rate=0.02,
+            scheme="PowerPunch-PG",
+            warmup=100,
+            measurement=400,
+            config=config,
+            max_faults=2,
+            horizon=300,
+            watchdog=50_000,
+        )
+
+    def test_kind_is_registered(self):
+        assert "reliability" in CELL_KINDS
+
+    def test_spec_is_cacheable_and_labeled(self):
+        spec = self._spec()
+        assert spec.kind == "reliability"
+        assert dict(spec.extras) == {
+            "max_faults": 2,
+            "horizon": 300,
+            "watchdog": 50_000,
+        }
+        assert spec.cache_key("salt") == self._spec().cache_key("salt")
+        json.loads(spec.canonical_json())  # canonical form is valid JSON
+
+    def test_payload_shape_and_accounting(self):
+        payload = run_cell(self._spec())
+        for key in (
+            "fault_spec",
+            "outcome",
+            "deadlocked",
+            "injected",
+            "delivered",
+            "dropped",
+            "refused",
+            "delivered_all",
+            "dead_routers",
+            "wakeup_retries",
+            "rerouted_packets",
+            "detour_hops",
+            "cycles",
+        ):
+            assert key in payload
+        assert payload["outcome"] in ("drained", "deadlock", "degraded")
+        assert payload["delivered"] <= payload["injected"]
+        # The sampled schedule is replayable from its payload string.
+        assert FaultSchedule.parse(payload["fault_spec"])
+
+    def test_cell_is_bit_identical_across_runs(self):
+        assert run_cell(self._spec()) == run_cell(self._spec())
+
+    def test_scheme_dash_runs_without_power_gating(self):
+        spec = CellSpec.reliability(
+            5,
+            scheme="-",
+            injection_rate=0.02,
+            warmup=100,
+            measurement=300,
+            config=NoCConfig(width=4, height=4, degradation="reroute"),
+            horizon=200,
+        )
+        payload = run_cell(spec)
+        assert payload["wakeup_retries"] == 0  # no PG => no wakeups
+
+
+class TestAggregate:
+    def _outcome(self, **overrides):
+        base = {
+            "outcome": "drained",
+            "deadlocked": False,
+            "injected": 100,
+            "delivered": 100,
+            "dropped": 0,
+            "refused": 0,
+            "delivered_all": True,
+            "wakeup_retries": 0,
+            "rerouted_packets": 0,
+            "detour_hops": 0,
+        }
+        base.update(overrides)
+        return base
+
+    def test_counts_and_probabilities(self):
+        outcomes = [
+            self._outcome(),
+            self._outcome(
+                outcome="deadlock",
+                deadlocked=True,
+                delivered=60,
+                dropped=40,
+                delivered_all=False,
+            ),
+            self._outcome(
+                delivered=98,
+                dropped=2,
+                rerouted_packets=5,
+                detour_hops=11,
+                delivered_all=False,
+            ),
+        ]
+        estimate = aggregate(outcomes)
+        assert estimate["trials"] == 3
+        assert estimate["deadlocks"] == 1
+        assert estimate["clean_trials"] == 1
+        assert estimate["injected_packets"] == 300
+        assert estimate["delivered_packets"] == 258
+        assert estimate["delivery_probability"] == pytest.approx(258 / 300)
+        assert estimate["deadlock_probability"] == pytest.approx(1 / 3)
+        assert estimate["delivery_ci95"] == list(wilson_interval(258, 300))
+        assert estimate["deadlock_ci95"] == list(wilson_interval(1, 3))
+        assert estimate["rerouted_packets"] == 5
+        assert estimate["detour_hops"] == 11
+
+    def test_empty_campaign_is_honest(self):
+        estimate = aggregate([])
+        assert estimate["delivery_probability"] is None
+        assert estimate["deadlock_probability"] is None
+        assert estimate["delivery_ci95"] == [0.0, 1.0]
+
+    def test_report_renders(self):
+        text = report(aggregate([self._outcome()]))
+        assert "delivery (per packet)" in text
+        assert "95% CI" in text
+        assert "100/100" in text
+
+    def test_estimate_is_json_serializable(self):
+        json.dumps(aggregate([self._outcome()]))
+
+
+class TestReliabilityCampaign:
+    def test_cells_are_seeded_sequentially_and_carry_config(self):
+        campaign = reliability_campaign(
+            4, width=4, height=4, base_seed=10, measurement=500
+        )
+        assert [c.seed for c in campaign.cells] == [10, 11, 12, 13]
+        for cell in campaign.cells:
+            config = cell.build_config()
+            assert config.degradation == "reroute"
+            assert config.dead_router_threshold == 200
+            assert config.width == 4
+
+    def test_rejects_empty_campaign(self):
+        with pytest.raises(ValueError):
+            reliability_campaign(0)
+
+    def test_tiny_campaign_estimates_are_bit_identical(self):
+        def run():
+            campaign = reliability_campaign(
+                3,
+                width=4,
+                height=4,
+                warmup=100,
+                measurement=300,
+                horizon=200,
+                base_seed=2,
+            )
+            return aggregate(campaign.run())
+
+        assert run() == run()
+
+
+class TestQuarantinePostMortem:
+    def test_failure_report_carries_fault_context(self):
+        error = RuntimeError("router wedged")
+        error.fault_spec = "router_stall,router=5,start=10"
+        error.dead_routers = (5,)
+        spec = CellSpec.analysis("postmortem-probe")
+        rep = FailureReport.from_failure(
+            spec=spec,
+            key="k1",
+            exc=error,
+            attempts=1,
+            signatures=["RuntimeError:router wedged"],
+            classification="deterministic",
+        )
+        assert rep.fault_spec == "router_stall,router=5,start=10"
+        assert rep.dead_routers == [5]
+        doc = rep.as_dict()
+        assert doc["fault_spec"] == "router_stall,router=5,start=10"
+        assert doc["dead_routers"] == [5]
+
+    def test_plain_failures_leave_context_empty(self):
+        rep = FailureReport.from_failure(
+            spec=CellSpec.analysis("plain"),
+            key="k2",
+            exc=ValueError("nope"),
+            attempts=1,
+            signatures=["ValueError:nope"],
+            classification="deterministic",
+        )
+        assert rep.fault_spec is None
+        assert rep.dead_routers == []
+        assert rep.as_dict()["fault_spec"] is None
+
+
+class TestRobustnessArgs:
+    def _parser(self):
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        return add_robustness_args(parser)
+
+    def test_reroute_shorthand_sets_ambient(self):
+        args = self._parser().parse_args(["--reroute"])
+        try:
+            assert apply_robustness_args(args)
+            assert ambient_config()[3] == "reroute"
+        finally:
+            clear_ambient()
+
+    def test_threshold_merges_without_clobbering(self):
+        args = self._parser().parse_args(
+            ["--degradation", "drop", "--dead-router-threshold", "77"]
+        )
+        try:
+            assert apply_robustness_args(args)
+            assert ambient_config()[3] == "drop"
+            assert ambient_config()[4] == 77
+        finally:
+            clear_ambient()
+
+    def test_no_flags_is_a_noop(self):
+        args = self._parser().parse_args([])
+        assert not apply_robustness_args(args)
+        assert ambient_config() == (None, False, None, None, None)
+
+    def test_bad_degradation_choice_exits(self):
+        with pytest.raises(SystemExit):
+            self._parser().parse_args(["--degradation", "explode"])
