@@ -1,9 +1,9 @@
 """Kernel performance baseline: ``python -m repro.bench``.
 
-Measures simulated cycles/sec of the active-set kernel against the
-naive full-scan kernel over a matrix of scheme x injection rate x mesh
-size, and emits the result as ``BENCH_kernel.json`` so CI can track the
-trend and flag regressions.
+Measures simulated cycles/sec of the active-set and vector kernels
+against the naive full-scan kernel over a matrix of scheme x injection
+rate x mesh size, and emits the result as ``BENCH_kernel.json`` so CI
+can track the trend and flag regressions.
 
 Methodology
 -----------
@@ -18,10 +18,11 @@ application and ``Network.step`` — no RNG, no pattern math — so the
 reported speedup isolates the kernel instead of diluting it with
 traffic-generation overhead.
 
-Because both kernels consume the same trace, the bench doubles as an
-end-to-end exactness check: after every config it asserts the two
-kernels produced identical stats dumps (and identical total cycle
-counts, so cycles/sec are computed over the same work).
+Because all kernels consume the same trace, the bench doubles as an
+end-to-end exactness check: within every config it asserts that **every
+timing repetition** of every kernel produced the identical stats dump
+and total cycle count (so no timing is ever accepted for a run that did
+different work), and that all kernels match the naive reference.
 
 Output schema (``bench_kernel/v1``)::
 
@@ -32,16 +33,19 @@ Output schema (``bench_kernel/v1``)::
       "results": [
         {"scheme": str, "width": int, "height": int,
          "injection_rate": float, "total_cycles": int,
-         "active_cps": float, "naive_cps": float, "speedup": float},
+         "active_cps": float, "naive_cps": float, "vector_cps": float,
+         "speedup": float,          # active_cps / naive_cps
+         "speedup_vector": float},  # vector_cps / active_cps
         ...
       ]
     }
 
 ``--check BASELINE`` compares the current run against a committed
-baseline and exits non-zero only when a config's ``active_cps`` fell
-more than ``--tolerance`` (default 30%) below the baseline — a trend
-job, deliberately insensitive to ordinary machine-to-machine noise in
-the speedup ratio itself.
+baseline and exits non-zero only when a config's cycles/sec fell more
+than ``--tolerance`` (default 30%) below the baseline for any
+``*_cps`` column present in both documents — a trend job, deliberately
+insensitive to ordinary machine-to-machine noise in the speedup ratios
+themselves.
 """
 
 from __future__ import annotations
@@ -66,6 +70,9 @@ SCHEMES: Dict[str, Callable] = {
     "PowerPunchPG": PowerPunchPG,
     "NoRDLike": NoRDLike,
 }
+
+#: Kernels every bench cell times and cross-checks.
+KERNELS = ("active", "naive", "vector")
 
 #: One trace event: ("inject", source, dest, vnet, size) or ("notice", node).
 TraceEvent = Tuple
@@ -171,38 +178,68 @@ def bench_config(
     repeat: int,
     seed: int = 7,
 ) -> Dict[str, object]:
-    """Benchmark one (scheme, mesh, rate) cell under both kernels."""
+    """Benchmark one (scheme, mesh, rate) cell under all three kernels.
+
+    A timing is only accepted once **every** repetition of the kernel
+    produced the identical stats fingerprint and drain length — a
+    repetition that did different work (a nondeterminism bug) would
+    otherwise silently contribute its wall clock to the best-of.
+    Previously only the last repetition was checked.
+    """
     base = NoCConfig(width=width, height=height)
     trace = record_trace(base, "uniform_random", rate, seed, cycles)
     timings: Dict[str, float] = {}
     fingerprints = {}
     total_cycles = {}
-    for kernel in ("active", "naive"):
+    for kernel in KERNELS:
         config = NoCConfig(width=width, height=height, kernel=kernel)
         best = None
-        for _ in range(repeat):
+        for rep in range(repeat):
             net, elapsed = replay(config, scheme_name, trace, cycles)
+            fingerprint = _stats_fingerprint(net)
+            if rep == 0:
+                fingerprints[kernel] = fingerprint
+                total_cycles[kernel] = net.cycle
+            else:
+                if fingerprint != fingerprints[kernel]:
+                    mismatched = {
+                        key: (fingerprints[kernel][key], fingerprint[key])
+                        for key in fingerprint
+                        if fingerprint[key] != fingerprints[kernel][key]
+                    }
+                    raise AssertionError(
+                        f"nondeterministic {kernel} kernel for {scheme_name} "
+                        f"{width}x{height}@{rate} (repeat {rep}): {mismatched}"
+                    )
+                if net.cycle != total_cycles[kernel]:
+                    raise AssertionError(
+                        f"nondeterministic drain length for {kernel} kernel, "
+                        f"{scheme_name} {width}x{height}@{rate} (repeat "
+                        f"{rep}): {net.cycle} != {total_cycles[kernel]}"
+                    )
             best = elapsed if best is None else min(best, elapsed)
         timings[kernel] = best
-        fingerprints[kernel] = _stats_fingerprint(net)
-        total_cycles[kernel] = net.cycle
-    if fingerprints["active"] != fingerprints["naive"]:
-        mismatched = {
-            key: (fingerprints["active"][key], fingerprints["naive"][key])
-            for key in fingerprints["active"]
-            if fingerprints["active"][key] != fingerprints["naive"][key]
-        }
-        raise AssertionError(
-            f"kernel mismatch for {scheme_name} {width}x{height}@{rate}: "
-            f"{mismatched}"
-        )
-    if total_cycles["active"] != total_cycles["naive"]:
-        raise AssertionError(
-            f"drain length diverged for {scheme_name} "
-            f"{width}x{height}@{rate}: {total_cycles}"
-        )
+    for kernel in KERNELS:
+        if kernel == "naive":
+            continue
+        if fingerprints[kernel] != fingerprints["naive"]:
+            mismatched = {
+                key: (fingerprints[kernel][key], fingerprints["naive"][key])
+                for key in fingerprints[kernel]
+                if fingerprints[kernel][key] != fingerprints["naive"][key]
+            }
+            raise AssertionError(
+                f"kernel mismatch ({kernel} vs naive) for {scheme_name} "
+                f"{width}x{height}@{rate}: {mismatched}"
+            )
+        if total_cycles[kernel] != total_cycles["naive"]:
+            raise AssertionError(
+                f"drain length diverged ({kernel} vs naive) for "
+                f"{scheme_name} {width}x{height}@{rate}: {total_cycles}"
+            )
     active_cps = total_cycles["active"] / timings["active"]
     naive_cps = total_cycles["naive"] / timings["naive"]
+    vector_cps = total_cycles["vector"] / timings["vector"]
     return {
         "scheme": scheme_name,
         "width": width,
@@ -211,7 +248,9 @@ def bench_config(
         "total_cycles": total_cycles["active"],
         "active_cps": round(active_cps, 1),
         "naive_cps": round(naive_cps, 1),
+        "vector_cps": round(vector_cps, 1),
         "speedup": round(active_cps / naive_cps, 3),
+        "speedup_vector": round(vector_cps / active_cps, 3),
     }
 
 
@@ -279,7 +318,9 @@ def run_matrix(
                 f"rate={cell['injection_rate']:<5} "
                 f"active={cell['active_cps']:>9} c/s  "
                 f"naive={cell['naive_cps']:>9} c/s  "
-                f"speedup={cell['speedup']}x",
+                f"vector={cell['vector_cps']:>9} c/s  "
+                f"speedup={cell['speedup']}x  "
+                f"vector/active={cell['speedup_vector']}x",
                 file=sys.stderr,
             )
     return {
@@ -293,10 +334,13 @@ def run_matrix(
 def check_against_baseline(
     current: Dict[str, object], baseline: Dict[str, object], tolerance: float
 ) -> List[str]:
-    """Regressions of ``active_cps`` beyond ``tolerance``, as messages.
+    """Cycles/sec regressions beyond ``tolerance``, as messages.
 
-    Only configs present in both documents are compared, so shrinking
-    or extending the matrix never fails the trend job by itself.
+    Every ``*_cps`` column present in both a current cell and its
+    baseline cell is gated — a regression in any kernel fails the
+    trend job.  Only configs (and columns) present in both documents
+    are compared, so shrinking or extending the matrix, or adding a
+    kernel, never fails the job by itself.
     """
 
     def key(cell):
@@ -308,14 +352,17 @@ def check_against_baseline(
         ref = baseline_cells.get(key(cell))
         if ref is None:
             continue
-        floor = ref["active_cps"] * (1.0 - tolerance)
-        if cell["active_cps"] < floor:
-            failures.append(
-                f"{cell['scheme']} {cell['width']}x{cell['height']}"
-                f"@{cell['injection_rate']}: active_cps {cell['active_cps']} "
-                f"< {floor:.1f} (baseline {ref['active_cps']} "
-                f"- {tolerance:.0%})"
-            )
+        for column in sorted(cell):
+            if not column.endswith("_cps") or column not in ref:
+                continue
+            floor = ref[column] * (1.0 - tolerance)
+            if cell[column] < floor:
+                failures.append(
+                    f"{cell['scheme']} {cell['width']}x{cell['height']}"
+                    f"@{cell['injection_rate']}: {column} {cell[column]} "
+                    f"< {floor:.1f} (baseline {ref[column]} "
+                    f"- {tolerance:.0%})"
+                )
     return failures
 
 

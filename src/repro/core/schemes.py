@@ -66,6 +66,13 @@ class PowerGatedScheme(PowerPolicy):
         #: Honor early local-router notices from resource accesses.
         self.slack2 = slack2
         self.slack2_window = slack2_window
+        #: Vector-kernel controller substrate: while a
+        #: ``ControllerArrayBank`` is installed the array state is
+        #: authoritative and every controller read goes through the
+        #: ``controllers`` property, which flushes the bank back onto
+        #: the objects first (see ``repro.noc.vector``).
+        self._vector_bank = None
+        self._bank_dirty = False
         self.controllers: List[PowerGateController] = []
         self.fabric: Optional[PunchFabric] = None
         self._slack2_hold: Dict[int, int] = {}
@@ -105,6 +112,20 @@ class PowerGatedScheme(PowerPolicy):
         self.blocking_fallback = False
 
     # ------------------------------------------------------------------
+    @property
+    def controllers(self) -> List[PowerGateController]:
+        """The per-router controller objects, flushed up to date when
+        the vector kernel's array bank holds the authoritative state."""
+        if self._bank_dirty:
+            self._bank_dirty = False
+            self._vector_bank.flush_into(self._controllers)
+        return self._controllers
+
+    @controllers.setter
+    def controllers(self, value: List[PowerGateController]) -> None:
+        self._controllers = value
+
+    # ------------------------------------------------------------------
     def attach(self, network: Network) -> None:
         """Derive punch parameters and build controllers/fabric for a network."""
         self.network = network
@@ -126,7 +147,11 @@ class PowerGatedScheme(PowerPolicy):
             # Mirror retry events into the network-wide counters so
             # campaign dumps see them without walking controllers.
             controller.stats = network.stats
-        self._active = cfg.kernel == "active"
+        # The vector kernel falls back to the active-set machinery
+        # whenever its engine is not engaged.
+        self._active = cfg.kernel in ("active", "vector")
+        self._vector_bank = None
+        self._bank_dirty = False
         self._faulted = False
         self._armed = set(range(cfg.num_nodes))
         self._stepped_through = -1
@@ -171,6 +196,11 @@ class PowerGatedScheme(PowerPolicy):
         return self._stepped_through
 
     def _on_punch(self, router: int, cycle: int) -> None:
+        bank = self._vector_bank
+        if bank is not None:
+            # Vector kernel: the controller FSMs live in the array bank.
+            bank.request_scalar(router, cycle, self.expectation_window)
+            return
         controller = self.controllers[router]
         if controller._quiescent_since is not None and controller.faults is None:
             # Parked controller: absorb the wakeup without waking the
@@ -279,6 +309,9 @@ class PowerGatedScheme(PowerPolicy):
     # ------------------------------------------------------------------
     def is_router_available(self, router_id: int) -> bool:
         """PG signal de-asserted for this router right now."""
+        bank = self._vector_bank
+        if bank is not None:
+            return bank.state[router_id] == 0
         return self.controllers[router_id].is_available
 
     def is_router_available_by(self, router_id: int, by_cycle: int) -> bool:
@@ -287,6 +320,14 @@ class PowerGatedScheme(PowerPolicy):
         Inline twin of :meth:`PowerGateController.available_by` — this
         probe runs once per SA-ready VC per cycle.
         """
+        bank = self._vector_bank
+        if bank is not None:
+            st = bank.state[router_id]
+            if st == 0:
+                return True
+            if st == 2:
+                return bool(bank.wake_at[router_id] <= by_cycle)
+            return False
         controller = self.controllers[router_id]
         state = controller.state
         if state is PGState.ACTIVE:
@@ -297,10 +338,16 @@ class PowerGatedScheme(PowerPolicy):
 
     def router_is_off(self, router_id: int) -> bool:
         """Whether the router is currently gated off."""
+        bank = self._vector_bank
+        if bank is not None:
+            return bank.state[router_id] == 1
         return self.controllers[router_id].is_off
 
     def router_is_waking(self, router_id: int) -> bool:
         """Whether the router is mid-wakeup (PG still asserted)."""
+        bank = self._vector_bank
+        if bank is not None:
+            return bank.state[router_id] == 2
         return self.controllers[router_id].is_waking
 
     # ------------------------------------------------------------------
@@ -555,7 +602,7 @@ class PowerGatedScheme(PowerPolicy):
         # the router is not fully on when the NI checks availability,
         # even when the wakeup wait itself ends up partially hidden.
         """Record a blocked-router encounter at the availability check."""
-        if not self.controllers[node].is_available:
+        if not self.is_router_available(node):
             packet.blocked_routers.add(node)
 
     def early_local_notice(self, node: int, cycle: int) -> None:
@@ -565,6 +612,10 @@ class PowerGatedScheme(PowerPolicy):
         until = cycle + self.slack2_window
         if until > self._slack2_hold.get(node, -1):
             self._slack2_hold[node] = until
+        bank = self._vector_bank
+        if bank is not None:
+            bank.request_scalar(node, cycle, 0)
+            return
         self.controllers[node].request_wakeup(cycle, 0)
 
     # ------------------------------------------------------------------
@@ -679,7 +730,7 @@ class PowerPunchPG(PowerPunchSignal):
         # powered-off router (Fig. 9 semantics) even though the NI
         # slack may hide most or all of the wakeup wait (Fig. 10).
         """Slack-1 wakeup-issue point: count powered-off encounters here."""
-        if not self.controllers[node].is_available:
+        if not self.is_router_available(node):
             packet.blocked_routers.add(node)
 
     def _generate_injection_punches(self, cycle: int) -> None:

@@ -26,6 +26,17 @@ class VCState(enum.Enum):
     ACTIVE = "active"
 
 
+#: Dense integer codes for :class:`VCState`, shared with the vector
+#: kernel's structure-of-arrays mirror (``repro.noc.vector`` keeps VC
+#: state as an int8 array; materialization maps codes back to enums).
+VC_STATE_CODES = {
+    VCState.IDLE: 0,
+    VCState.WAIT_VA: 1,
+    VCState.ACTIVE: 2,
+}
+VC_STATE_FROM_CODE = {code: state for state, code in VC_STATE_CODES.items()}
+
+
 class VirtualChannel:
     """State of one input virtual channel."""
 

@@ -13,7 +13,14 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Dict, Tuple
 
+from .errors import ConfigError
 from .packet import NUM_VNETS, VirtualNetwork
+
+#: Valid values of the enumerated config fields, validated at
+#: construction time so a typo (``kernel="vecotr"``) fails loudly with
+#: the option list instead of silently running some other kernel.
+VALID_KERNELS = ("active", "naive", "vector")
+VALID_DEGRADATIONS = ("none", "drop", "reroute", "fail_fast")
 
 
 @dataclass
@@ -41,8 +48,13 @@ class NoCConfig:
     #: Per-cycle kernel: ``"active"`` visits only components with work
     #: (routers with occupied VCs, NIs with queued/streaming packets,
     #: armed PG-controller FSMs); ``"naive"`` scans every component
-    #: every cycle.  Both are cycle-exact — the naive kernel is kept as
-    #: the reference for equivalence tests and benchmarks.
+    #: every cycle; ``"vector"`` runs the per-cycle hot path as masked
+    #: numpy array operations over a structure-of-arrays mirror of the
+    #: mesh (see ``repro.noc.vector``), falling back to the active
+    #: kernel for configurations the engine does not cover (faults,
+    #: invariant checkers, non-whitelisted schemes).  All three are
+    #: cycle-exact — the naive kernel is kept as the reference for
+    #: equivalence tests and benchmarks.
     kernel: str = "active"
     #: Graceful degradation under permanent router faults (see
     #: ``docs/fault_model.md``): ``"none"`` leaves a permanently
@@ -64,12 +76,10 @@ class NoCConfig:
     def __post_init__(self) -> None:
         if self.router_stages not in (3, 4):
             raise ValueError("router_stages must be 3 or 4")
-        if self.kernel not in ("active", "naive"):
-            raise ValueError("kernel must be 'active' or 'naive'")
-        if self.degradation not in ("none", "drop", "reroute", "fail_fast"):
-            raise ValueError(
-                "degradation must be 'none', 'drop', 'reroute' or 'fail_fast'"
-            )
+        if self.kernel not in VALID_KERNELS:
+            raise ConfigError("kernel", self.kernel, VALID_KERNELS)
+        if self.degradation not in VALID_DEGRADATIONS:
+            raise ConfigError("degradation", self.degradation, VALID_DEGRADATIONS)
         if self.dead_router_threshold < 1:
             raise ValueError("dead_router_threshold must be positive")
         if self.vcs_per_vnet < 1:

@@ -166,3 +166,20 @@ class DegradedNetworkError(SimulationError):
 
 class FaultSpecError(ValueError):
     """A fault-schedule specification string could not be parsed."""
+
+
+class ConfigError(ValueError):
+    """An enumerated :class:`~repro.noc.config.NoCConfig` field held an
+    unknown value (a :class:`ValueError`, since it is a config problem).
+
+    Carries the offending ``field``, the rejected ``value`` and the
+    tuple of ``valid`` values so callers (and the rendered message) can
+    point at the typo instead of failing deep inside network setup.
+    """
+
+    def __init__(self, field: str, value: object, valid: tuple) -> None:
+        self.field = field
+        self.value = value
+        self.valid = tuple(valid)
+        options = ", ".join(repr(v) for v in self.valid)
+        super().__init__(f"{field} must be one of {options}, got {value!r}")

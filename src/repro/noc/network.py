@@ -116,7 +116,15 @@ class Network:
         #: Active-set kernel work-sets (see module docstring).  They are
         #: maintained under both kernels — entry is event-driven and
         #: cheap — but only the active kernel iterates them in ``step``.
-        self._active_kernel = config.kernel == "active"
+        #: ``kernel="vector"`` also runs active-set scans whenever the
+        #: vector engine is not engaged (unsupported configuration, or
+        #: materialized back mid-run).
+        self._active_kernel = config.kernel in ("active", "vector")
+        #: Engaged vector engine (see ``repro.noc.vector``), or None.
+        #: Engagement is attempted once, on the first ``step`` of a
+        #: ``kernel="vector"`` network.
+        self._engine = None
+        self._try_vector = config.kernel == "vector"
         self.active_routers: Set[int] = set()
         self.active_nis: Set[int] = set()
 
@@ -133,7 +141,9 @@ class Network:
         ]
 
         #: Flit counts per (router, outgoing direction), LOCAL = ejection.
-        self.link_counts: List[Dict[Direction, int]] = [
+        #: Read through the ``link_counts`` property, which folds in the
+        #: vector engine's array counters when one is engaged.
+        self._link_counts: List[Dict[Direction, int]] = [
             {d: 0 for d in Direction} for _ in range(config.num_nodes)
         ]
 
@@ -184,6 +194,7 @@ class Network:
         """Attach a fault injector; the policy wires its own fault points
         (punch fabric, PG controllers) and enables the blocking-wakeup
         fallback so lost punches degrade latency instead of liveness."""
+        self._disengage_vector()
         self.faults = injector
         self.policy.on_faults_installed(injector)
         if self.invariants is not None:
@@ -191,6 +202,7 @@ class Network:
 
     def install_invariants(self, checker: "InvariantChecker") -> None:
         """Attach a runtime invariant checker (see repro.noc.invariants)."""
+        self._disengage_vector()
         self.invariants = checker
         checker.attach(self)
         if self.faults is not None:
@@ -253,6 +265,8 @@ class Network:
         """Flits/packets created but not yet delivered, counted over the
         same universe :meth:`is_drained` checks: NI queues and streams,
         router buffers, flits on links, and flits mid-ejection."""
+        if self._engine is not None:
+            return self._engine.in_flight_packets()
         pending = sum(ni.pending_packets() for ni in self.interfaces)
         buffered = sum(r.buffered_flits() for r in self.routers)
         flying = sum(len(v) for v in self._flit_events.values())
@@ -268,6 +282,8 @@ class Network:
         in ``_flit_events``).  Stale entries — possible under the naive
         kernel, which never prunes — are re-checked and dropped here.
         """
+        if self._engine is not None:
+            return self._engine.is_drained()
         for node in sorted(self.active_nis):
             if self.interfaces[node].pending_packets():
                 return False
@@ -314,8 +330,35 @@ class Network:
                 raise error
             self.step()
 
+    @property
+    def link_counts(self) -> List[Dict[Direction, int]]:
+        """Flit counts per (router, outgoing direction), LOCAL = ejection."""
+        if self._engine is not None:
+            self._engine.fold_link_counts()
+        return self._link_counts
+
+    def _disengage_vector(self) -> None:
+        """Materialize and drop the vector engine (and never re-engage):
+        called before attaching mid-run machinery — fault injectors,
+        invariant checkers — the engine does not model."""
+        self._try_vector = False
+        if self._engine is not None:
+            self._engine.materialize()
+
     def step(self) -> None:
         """Advance one cycle (see module docstring for phase order)."""
+        if self._engine is not None:
+            self._engine.step()
+            return
+        if self._try_vector:
+            self._try_vector = False
+            from .vector import try_engage
+
+            engine = try_engage(self)
+            if engine is not None:
+                self._engine = engine
+                engine.step()
+                return
         cycle = self.cycle
         if self._degradation != "none" and self.faults is not None:
             self._check_degradation(cycle)
@@ -482,7 +525,7 @@ class Network:
         router = self._sa_router
         cycle = self._sa_cycle
         self.stats.router_traversals += 1
-        self.link_counts[router.router_id][out_dir] += 1
+        self._link_counts[router.router_id][out_dir] += 1
         # ``_schedule_credit_return`` inlined: one call per granted flit.
         if in_dir == Direction.LOCAL:
             # Encode NI targets as negative ids.
@@ -522,10 +565,13 @@ class Network:
                 # resume per-cycle stepping from the next cycle.
                 self.policy.on_router_disturbed(neighbor)
         if self._active_kernel and not router._occupied:
-            if not router.incoming_in_flight:
-                # This departure emptied the router's datapath: its
-                # own PG controller (if parked in the busy skip)
-                # sees its sleep precondition change.
+            if not router.incoming_in_flight and not router._live_vcs:
+                # This departure emptied the router's datapath (no
+                # buffered flits, nothing in flight, no live mid-packet
+                # allocation): its own PG controller (if parked in the
+                # busy skip) sees its sleep precondition change.  A
+                # drained-but-owned VC keeps the busy park instead —
+                # the tail's eventual departure re-runs this check.
                 self.policy.on_router_emptied(router.router_id)
 
     def _sa_note_blocked(self, neighbor: int, flit: Flit) -> None:
@@ -869,6 +915,7 @@ class Network:
                             vc.vc_index,
                         ):
                             out_port.owner[vc.out_vc] = None
+                    router._live_vcs -= 1
                     vc.reset_for_next_packet()
                     router.head_version += 1
                     released = True
@@ -908,6 +955,7 @@ class Network:
                 was_busy
                 and self._active_kernel
                 and not router.incoming_in_flight
+                and not router._live_vcs
             ):
                 self.policy.on_router_emptied(router.router_id)
 

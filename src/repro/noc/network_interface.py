@@ -68,6 +68,10 @@ class NetworkInterface:
         #: Kernel callback fired whenever this NI gains work (a packet
         #: was queued), so the active-set kernel re-schedules it.
         self._on_work = on_work
+        #: Vector-kernel hook: when engaged, local-VC probes read the
+        #: engine's structure-of-arrays mirror instead of the (stale)
+        #: router objects.  ``None`` under the object kernels.
+        self._vc_probe: Optional[Callable] = None
         self.queues: List[Deque[Packet]] = [deque() for _ in range(NUM_VNETS)]
         #: NI-side credits for the local input port VCs.
         self.credits: List[int] = [
@@ -202,6 +206,9 @@ class NetworkInterface:
 
     def _free_local_vc(self, vnet: VirtualNetwork) -> Optional[int]:
         """A local input VC that is idle, empty and not already reserved."""
+        probe = self._vc_probe
+        if probe is not None:
+            return probe(self, vnet)
         port = self.router.input_ports[Direction.LOCAL]
         for vc in self.config.vcs_of_vnet(vnet):
             if vc in self.streams:

@@ -66,6 +66,14 @@ class Router:
         #: Flits currently flying toward this router (sent but not yet
         #: buffered); used for the sleep-safety check.
         self.incoming_in_flight = 0
+        #: Input VCs holding a live packet allocation (state != IDLE).
+        #: A wormhole stream can drain its buffer mid-packet (every
+        #: arrived flit already forwarded, the rest stalled upstream);
+        #: such a VC is in neither ``_occupied`` nor the in-flight
+        #: count, but its allocation state is datapath state the
+        #: power-gating controller must not cut power to — see
+        #: :meth:`datapath_empty`.
+        self._live_vcs = 0
         #: Switch-allocation round-robin pointer per output direction.
         self._sa_out_rr: Dict[Direction, int] = {d: 0 for d in ALL_DIRECTIONS}
         #: Non-empty input VCs (the per-cycle working set).  A dict is
@@ -106,8 +114,19 @@ class Router:
         (Sec. 2.2: input buffers, output registers and crossbar empty;
         the in-flight check subsumes the paper's mandatory two-cycle
         timeout that lets flits already on links land safely).
+
+        A VC whose buffer drained mid-packet still holds live datapath
+        state (route, output VC ownership, downstream credit debt), so
+        the router must not power off until the tail has passed: gating
+        mid-allocation would deadlock the stranded remainder of the
+        stream, whose body/tail flits assert no punch or wakeup wires
+        of their own (only head flits do).
         """
-        return not self._occupied and not self.incoming_in_flight
+        return (
+            not self._occupied
+            and not self.incoming_in_flight
+            and not self._live_vcs
+        )
 
     def buffered_flits(self) -> int:
         """Total flits buffered across all input VCs."""
@@ -157,6 +176,8 @@ class Router:
                 cycle=cycle, router=self.router_id,
                 port=vc.port_direction, vc=vc.vc_index,
             )
+        if vc.state is VCState.IDLE:
+            self._live_vcs += 1
         vc.state = VCState.WAIT_VA
         vc.route = self.routing.output_direction(
             self.router_id, head.packet.destination
@@ -329,6 +350,7 @@ class Router:
             out_port.credits[out_vc] -= 1
         if flit.is_tail:
             out_port.owner[out_vc] = None
+            self._live_vcs -= 1
             vc.reset_for_next_packet()
             # The head of the next packet may already be buffered.
             if flits:

@@ -26,6 +26,11 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 from .errors import InvariantViolation, SimulationError
 from .topology import Direction, MeshTopology
 
+try:  # numpy backs the vector kernel only; everything else runs without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
 #: Sentinel distance for "no pure-down path exists".
 _INF = 1 << 30
 
@@ -202,6 +207,67 @@ class XYRouting:
             if a == link_src and b == link_dst:
                 return True
         return False
+
+
+# ----------------------------------------------------------------------
+# Vectorized XY (closed forms over node-id arrays)
+# ----------------------------------------------------------------------
+# The vector kernel's RC stage routes whole batches of head flits at
+# once.  XY on a row-major mesh has closed forms for all three lookups
+# the object layer walks pointer-by-pointer, so no N^2 tables are
+# needed: each helper is a handful of whole-array ops.  All of them are
+# exact mirrors of the scalar code above (x resolved first, then y).
+
+def xy_direction_codes(current, destination, width: int):
+    """Vector :meth:`XYRouting.output_direction`: int8 Direction values."""
+    cx = current % width
+    cy = current // width
+    dx = destination % width
+    dy = destination // width
+    out = _np.where(
+        cx < dx,
+        int(Direction.XPOS),
+        _np.where(
+            cx > dx,
+            int(Direction.XNEG),
+            _np.where(
+                cy < dy,
+                int(Direction.YPOS),
+                _np.where(cy > dy, int(Direction.YNEG), int(Direction.LOCAL)),
+            ),
+        ),
+    )
+    return out.astype(_np.int8)
+
+
+def xy_next_hops(current, destination, width: int):
+    """Vector :meth:`XYRouting.next_hop` (callers guarantee cur != dest)."""
+    cx = current % width
+    cy = current // width
+    dx = destination % width
+    dy = destination // width
+    step = _np.where(
+        cx < dx, 1, _np.where(cx > dx, -1, _np.where(cy < dy, width, -width))
+    )
+    return current + step
+
+
+def xy_routers_ahead(current, destination, hops: int, width: int):
+    """Vector :meth:`XYRouting.router_ahead`.
+
+    The scalar walk moves min(\\|dx\\|, hops) steps in x, then whatever
+    budget remains in y, stopping at the destination — the closed form
+    below is exactly that.
+    """
+    cx = current % width
+    cy = current // width
+    dx = destination % width
+    dy = destination // width
+    steps_x = _np.minimum(_np.abs(dx - cx), hops)
+    nx = cx + _np.sign(dx - cx) * steps_x
+    steps_y = _np.minimum(_np.abs(dy - cy), hops - steps_x)
+    ny = cy + _np.sign(dy - cy) * steps_y
+    return ny * width + nx
 
 
 class FaultTolerantRouting(XYRouting):

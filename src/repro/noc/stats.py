@@ -161,6 +161,20 @@ class NetworkStats:
             "detour_hops": self.detour_hops,
         }
 
+    @classmethod
+    def from_dict(cls, dump: Dict[str, int]) -> "NetworkStats":
+        """Rebuild a stats object from an :meth:`as_dict` dump.
+
+        The round-trip ``NetworkStats.from_dict(s.as_dict()).as_dict()
+        == s.as_dict()`` is load-bearing: campaign result files and
+        bench fingerprints persist ``as_dict`` dumps, and this is the
+        typed way back.  Unknown keys fail loudly (a dump from a newer
+        schema should not silently lose counters), and since every
+        ``as_dict`` key is a constructor field, a counter added to one
+        but not the other breaks the round-trip test immediately.
+        """
+        return cls(**dump)
+
     # ------------------------------------------------------------------
     @property
     def avg_packet_latency(self) -> float:

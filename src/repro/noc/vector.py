@@ -1,0 +1,1098 @@
+"""Structure-of-arrays cycle kernel (``NoCConfig.kernel == "vector"``).
+
+The object kernels (``active``/``naive``) walk routers, VCs and
+controllers pointer-by-pointer every cycle.  This module mirrors the
+entire per-cycle hot state of the mesh into flat numpy arrays indexed
+by ``(router, port, vc)`` and advances a whole cycle with masked
+whole-mesh array operations:
+
+* flit occupancy, ring-buffered slot contents and arrival cycles,
+* credit counters and downstream-VC ownership,
+* VC allocator state (``IDLE``/``WAIT_VA``/``ACTIVE`` codes, routes,
+  eligibility cycles) and every round-robin arbitration pointer,
+* punch-slack bookkeeping and the PG-controller FSMs (via
+  :class:`repro.powergate.controller.ControllerArrayBank`).
+
+The engine is **cycle-exact** against the object kernels: every
+arbitration order, event-queue ordering and counter update replicates
+the reference semantics (the equivalence arguments live next to each
+phase below).  Network interfaces and the punch fabric stay
+object-based — their per-cycle work is proportional to *activity*, not
+mesh size, and both are shared verbatim with the object kernels, which
+keeps the wakeup/forewarning timing identical by construction.
+
+Flat indexing: with ``V = config.num_vcs`` VCs per port and 5 ports
+per router, input VC ``(router r, port p, vc v)`` lives at flat index
+``f = (r * 5 + p) * V + v``; output VC ``(r, p, v)`` uses the same
+formula on the output side (``credits_out`` / ``owner_out``).  Port
+codes are the :class:`~repro.noc.topology.Direction` values (LOCAL=0).
+
+Engagement: :func:`try_engage` activates the engine on the *first*
+network step only, and only for configurations it covers exactly —
+no fault injector, no invariant checker, an empty dead-router set and
+a whitelisted power policy.  Anything else (including faults installed
+mid-run, which trigger :meth:`VectorEngine.materialize`) falls back to
+the active kernel, which is cycle-exact by construction.
+
+The engine keeps a registry of every packet it has carried (flat
+"entity ids" backing the destination/size/hops arrays); for the
+bounded benchmark and test workloads this is a few MB at most.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+try:  # numpy backs the vector kernel only
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
+from .buffers import VC_STATE_FROM_CODE
+from .errors import BufferOverflowError, SimulationError
+from .packet import Flit
+from .routing import xy_direction_codes, xy_next_hops, xy_routers_ahead
+from .topology import Direction
+
+#: Opposite-direction lookup by Direction code (LOCAL, XPOS, XNEG, YPOS, YNEG).
+_OPP_LIST = [0, 2, 1, 4, 3]
+
+
+def _group_bounds(keys):
+    """Start indices and run lengths of the equal-key runs in a sorted
+    1-D array.
+
+    This replaces ``np.unique(keys, return_index=True,
+    return_counts=True)`` on the per-cycle hot path: the callers'
+    keys are already sorted, so group boundaries are just neighbour
+    inequalities, and the ``out=`` forms dodge the allocation-heavy
+    ``np.r_``/``np.diff`` conveniences (~20 microseconds each, several
+    calls per cycle).
+    """
+    mask = _np.empty(keys.size, dtype=_np.bool_)
+    mask[0] = True
+    _np.not_equal(keys[1:], keys[:-1], out=mask[1:])
+    start = _np.flatnonzero(mask)
+    cnt = _np.empty(start.size, dtype=start.dtype)
+    _np.subtract(start[1:], start[:-1], out=cnt[:-1])
+    cnt[-1] = keys.size - start[-1]
+    return start, cnt
+
+
+def try_engage(net) -> Optional["VectorEngine"]:
+    """Build a :class:`VectorEngine` for ``net`` if it qualifies.
+
+    Called by :meth:`Network.step` exactly once, on the first step of a
+    ``kernel == "vector"`` network.  Returns ``None`` (permanent
+    fallback to the active kernel) unless every covered-configuration
+    condition holds; the checks are conservative so the engine never
+    engages with state it cannot mirror exactly.
+    """
+    if _np is None:
+        return None
+    if net.cycle != 0:
+        return None
+    if net.faults is not None or net.invariants is not None:
+        return None
+    if net.dead_routers or getattr(net.routing, "dead", None):
+        return None
+    # Routers must be pristine (cycle-0 injections only touch NI queues
+    # and controllers, both of which are imported, not rebuilt).
+    for router in net.routers:
+        if router._occupied or router.incoming_in_flight:
+            return None
+    if net._flit_events or net._credit_events or net._eject_events:
+        return None
+    from ..core import schemes
+    from .policy import AlwaysOnPolicy, PowerPolicy
+
+    ptype = type(net.policy)
+    if ptype in (AlwaysOnPolicy, PowerPolicy, schemes.NoPG):
+        gated = False
+    elif ptype in (
+        schemes.ConvOptPG,
+        schemes.PowerPunchSignal,
+        schemes.PowerPunchPG,
+    ):
+        gated = True
+    else:
+        # Unknown subclass: its hooks may read controller objects the
+        # engine keeps stale mid-run.
+        return None
+    return VectorEngine(net, gated)
+
+
+class VectorEngine:
+    """One engaged vector kernel instance for one network."""
+
+    def __init__(self, net, gated: bool) -> None:
+        from ..powergate.controller import ControllerArrayBank
+
+        self.net = net
+        cfg = net.config
+        self.R = R = cfg.num_nodes
+        self.V = V = cfg.num_vcs
+        self.per = cfg.vcs_per_vnet
+        self.width = cfg.width
+        self._pv = 5 * V
+        S = R * 5 * V
+        depths = cfg.depths_by_vc()
+        self.D = D = max(depths.values())
+        self._stage_gate = cfg.router_stages - 2
+        self._sa_delta = 1 if cfg.router_stages == 4 else 0
+        self.OPP = _np.array(_OPP_LIST, dtype=_np.int64)
+
+        # --- input VC state (flat, one entry per (router, port, vc)) ---
+        self.occ = _np.zeros(S, dtype=_np.int64)
+        self.state = _np.zeros(S, dtype=_np.int8)
+        self.route = _np.full(S, -1, dtype=_np.int8)
+        self.out_vc = _np.full(S, -1, dtype=_np.int64)
+        self.owner_eid = _np.full(S, -1, dtype=_np.int64)
+        self.va_el = _np.zeros(S, dtype=_np.int64)
+        self.sa_el = _np.zeros(S, dtype=_np.int64)
+        #: ``_occupied`` insertion order: assigned from a global counter
+        #: on every 0 -> 1 occupancy transition, in event order.
+        self.seq = _np.zeros(S, dtype=_np.int64)
+        self.next_seq = 0
+        self.depth_flat = _np.array(
+            [depths[v] for v in range(V)] * (R * 5), dtype=_np.int64
+        )
+        # Ring buffers: slot contents as (packet entity id, flit index,
+        # arrival cycle), head pointer per VC.
+        self.h = _np.zeros(S, dtype=_np.int64)
+        self.buf_eid = _np.zeros((S, D), dtype=_np.int64)
+        self.buf_idx = _np.zeros((S, D), dtype=_np.int64)
+        self.buf_arr = _np.zeros((S, D), dtype=_np.int64)
+        self.buffered_total = 0
+
+        # --- output-side state --------------------------------------
+        self.credits_out = _np.array(
+            [depths[v] for v in range(V)] * (R * 5), dtype=_np.int64
+        )
+        self.owner_out = _np.full(S, -1, dtype=_np.int64)
+        self.out_vc_rr = _np.zeros(R * 5, dtype=_np.int64)
+        self.sa_rr_in = _np.zeros(R * 5, dtype=_np.int64)
+        self.sa_rr_out = _np.zeros(R * 5, dtype=_np.int64)
+        #: Flit counts per (router, out direction); folded into the
+        #: network's ``link_counts`` dicts on read / materialize.
+        self.lc_flat = _np.zeros(R * 5, dtype=_np.int64)
+
+        # --- per-router state ----------------------------------------
+        self.incoming = _np.zeros(R, dtype=_np.int64)
+        self.router_occ = _np.zeros(R, dtype=_np.int64)
+        conn = _np.full(R * 5, -1, dtype=_np.int64)
+        for router in net.routers:
+            base = router.router_id * 5
+            for d, nb in router.connected.items():
+                if nb is not None:
+                    conn[base + int(d)] = nb
+        self.connected_flat = conn
+
+        # --- packet registry -----------------------------------------
+        self.packets: List = []
+        self._pid_eid: Dict[int, int] = {}
+        cap = 1024
+        self.pkt_dest = _np.zeros(cap, dtype=_np.int64)
+        self.pkt_nflits = _np.zeros(cap, dtype=_np.int64)
+        self.pkt_hops = _np.zeros(cap, dtype=_np.int64)
+
+        # --- event queues (cycle -> list of array chunks) ------------
+        #: Flit events: ``(f, eid, idx)`` with arrays (a whole SA round,
+        #: list order = emission order) or python ints (one NI send).
+        self._flit_ev: Dict[int, list] = {}
+        #: Credit events: encoded int arrays — ``>= 0`` is an output-VC
+        #: flat index, ``< 0`` encodes an NI credit ``-(node*V+vc)-1``.
+        self._credit_ev: Dict[int, list] = {}
+        #: Eject events: ``(router, eid, idx)`` array triples.
+        self._eject_ev: Dict[int, list] = {}
+
+        # --- power-gating substrate ----------------------------------
+        self.scheme = net.policy if gated else None
+        if gated:
+            sch = net.policy
+            self.bank = ControllerArrayBank.from_controllers(sch._controllers)
+            sch._vector_bank = self.bank
+            sch._bank_dirty = False
+            self._wants = _np.zeros(R, dtype=bool)
+            #: Routers punched during one phase, flushed in a single
+            #: ``request_batch`` (per-node requests commute).
+            self._punch_sink = []
+            # --- punch wavefront as encoded pair arrays --------------
+            # A queued (router, target) pair is the key ``r * R + t``;
+            # ``_pend_writes`` collects this cycle's relay/send arrays
+            # and the next ``_deliver_punches`` merges them with one
+            # ``np.unique`` — the array twin of the fabric's
+            # dict-of-frozensets merge (which costs ~40% of a PG run in
+            # hashing and route-cache misses).
+            self._pend_writes = []
+            #: Injection-pass sends captured by ``_send_local_hook``:
+            #: parallel lists of router ids and their target sets.
+            self._inj_r = []
+            self._inj_t = []
+            # Engagement happens before the first step, but be defensive
+            # about punches already queued through the object path.
+            for router, targets in sch.fabric._pending.items():
+                self._pend_writes.append(
+                    router * R
+                    + _np.fromiter(targets, dtype=_np.int64, count=len(targets))
+                )
+            sch.fabric._pending.clear()
+        else:
+            self.bank = None
+
+        # --- NI wiring -----------------------------------------------
+        for ni in net.interfaces:
+            ni._send_flit = self._ni_send
+            ni._vc_probe = self._probe_local_vc
+
+    # ==================================================================
+    # NI-facing hooks (object NIs drive the SoA mirror directly)
+    # ==================================================================
+    def _register(self, packet) -> int:
+        """Entity id for ``packet``, allocating arrays as needed."""
+        pid = packet.packet_id
+        eid = self._pid_eid.get(pid)
+        if eid is not None:
+            return eid
+        eid = len(self.packets)
+        self.packets.append(packet)
+        if eid >= self.pkt_dest.size:
+            grow = self.pkt_dest.size * 2
+            self.pkt_dest = _np.resize(self.pkt_dest, grow)
+            self.pkt_nflits = _np.resize(self.pkt_nflits, grow)
+            self.pkt_hops = _np.resize(self.pkt_hops, grow)
+        self.pkt_dest[eid] = packet.destination
+        self.pkt_nflits[eid] = packet.size_flits
+        self.pkt_hops[eid] = packet.hops_taken
+        self._pid_eid[pid] = eid
+        return eid
+
+    def _ni_send(self, node: int, vc: int, flit, cycle: int) -> None:
+        """Replaces ``Network._ni_send`` while engaged.
+
+        The object path's ``on_router_disturbed`` park-conversion hook
+        is intentionally absent: the bank steps every controller every
+        cycle, so there is no parked state to convert.
+        """
+        eid = self._register(flit.packet)
+        self.incoming[node] += 1
+        self._flit_ev.setdefault(cycle + 1, []).append(
+            (node * self._pv + vc, eid, flit.index)
+        )
+
+    def _probe_local_vc(self, ni, vnet):
+        """Replaces ``NetworkInterface._free_local_vc``'s port scan."""
+        base = ni.node * self._pv
+        occ = self.occ
+        state = self.state
+        streams = ni.streams
+        for vc in self.net.config.vcs_of_vnet(vnet):
+            if vc in streams:
+                continue
+            f = base + vc
+            if occ[f] == 0 and state[f] == 0:
+                return vc
+        return None
+
+    # ==================================================================
+    # Cycle step
+    # ==================================================================
+    def step(self) -> None:
+        """Advance one cycle (same phase order as ``Network.step``)."""
+        net = self.net
+        cycle = net.cycle
+        self._deliver(cycle)
+        self._credits(cycle)
+        if self.bank is not None:
+            self._pg_begin(cycle)
+        active_nis = net.active_nis
+        if active_nis:
+            interfaces = net.interfaces
+            for node in sorted(active_nis):
+                ni = interfaces[node]
+                if ni.has_work():
+                    ni.step(cycle)
+                if not ni.has_work():
+                    active_nis.discard(node)
+        if self.buffered_total:
+            self._va(cycle)
+            self._sa(cycle)
+        if self.bank is not None:
+            self._pg_end(cycle)
+        net.stats.cycles = cycle + 1
+        net.cycle = cycle + 1
+
+    # ------------------------------------------------------------------
+    # Phase 1: link arrivals and ejections
+    # ------------------------------------------------------------------
+    def _deliver(self, cycle: int) -> None:
+        ev = self._flit_ev.pop(cycle, None)
+        if ev:
+            # List order is the reference event order (the SA chunk was
+            # appended at T-3, NI singles at T-1, matching the object
+            # kernel's chronological appends) — occupancy sequence
+            # numbers are assigned in exactly this order.  Consecutive
+            # NI singles are batched into one chunk push: they always
+            # hit distinct VCs (each NI sends at most one flit per
+            # cycle, onto its own node's LOCAL port) and a chunk
+            # assigns sequence numbers in array order, so batching
+            # preserves the event order exactly.
+            run_f = []
+            run_e = []
+            run_i = []
+            for f, eid, idx in ev:
+                if isinstance(f, _np.ndarray):
+                    if run_f:
+                        self._flush_singles(run_f, run_e, run_i, cycle)
+                        run_f, run_e, run_i = [], [], []
+                    self._push_chunk(f, eid, idx, cycle)
+                else:
+                    run_f.append(f)
+                    run_e.append(eid)
+                    run_i.append(idx)
+            if run_f:
+                self._flush_singles(run_f, run_e, run_i, cycle)
+        ej = self._eject_ev.pop(cycle, None)
+        if ej:
+            interfaces = self.net.interfaces
+            stats = self.net.stats
+            hop_distance = self.net.topology.hop_distance
+            packets = self.packets
+            for nodes, eids, idxs in ej:
+                # Non-tail ejections are no-ops in the object kernel
+                # (``eject_flit`` only acts on tails, the invariant
+                # checker is never installed while engaged).
+                tails = idxs == (self.pkt_nflits[eids] - 1)
+                if not tails.any():
+                    continue
+                for node, eid, idx in zip(
+                    nodes[tails].tolist(),
+                    eids[tails].tolist(),
+                    idxs[tails].tolist(),
+                ):
+                    packet = packets[eid]
+                    packet.hops_taken = int(self.pkt_hops[eid])
+                    interfaces[node].eject_flit(Flit(packet, idx), cycle)
+                    hops = hop_distance(packet.source, packet.destination)
+                    stats.record_delivery(packet, hops)
+                    detour = packet.hops_taken - hops
+                    if detour > 0:  # pragma: no cover - XY is minimal
+                        stats.rerouted_packets += 1
+                        stats.detour_hops += detour
+
+    def _push_chunk(self, fs, eids, idxs, cycle: int) -> None:
+        """Buffer one SA round's arrivals (flat VC indices are unique:
+        at most one flit lands per VC per cycle under credit flow
+        control, and router-to-router arrivals never share a VC with
+        the NI singles, which target LOCAL ports)."""
+        occ = self.occ
+        o = occ[fs]
+        if _np.any(o >= self.depth_flat[fs]):
+            self._overflow(fs, o, eids, cycle)
+        slot = (self.h[fs] + o) % self.D
+        self.buf_eid[fs, slot] = eids
+        self.buf_idx[fs, slot] = idxs
+        self.buf_arr[fs, slot] = cycle
+        occ[fs] = o + 1
+        self.buffered_total += fs.size
+        r = fs // self._pv
+        _np.add.at(self.router_occ, r, 1)
+        _np.add.at(self.incoming, r, -1)
+        was_empty = o == 0
+        if was_empty.any():
+            ne = fs[was_empty]
+            k = ne.size
+            self.seq[ne] = _np.arange(self.next_seq, self.next_seq + k)
+            self.next_seq += k
+            e_idx = idxs[was_empty]
+            heads = e_idx == 0
+            if heads.any():
+                nh = ne[heads]
+                he = eids[was_empty][heads]
+                self.state[nh] = 1
+                self.owner_eid[nh] = he
+                self.out_vc[nh] = -1
+                self.va_el[nh] = cycle + 1
+                self.route[nh] = xy_direction_codes(
+                    nh // self._pv, self.pkt_dest[he], self.width
+                )
+            # Body flit landing in a drained-but-owned ACTIVE VC: the
+            # object kernel only lowers an allocator wake deadline; the
+            # engine runs every allocator round anyway.
+
+    def _flush_singles(self, fs, eids, idxs, cycle: int) -> None:
+        """Batch a run of NI-injected flits (distinct LOCAL-port VCs)
+        into one chunk push (route codes are identical: engagement
+        precludes dead routers, so ``output_direction`` is pure XY)."""
+        self._push_chunk(
+            _np.array(fs, dtype=_np.int64),
+            _np.array(eids, dtype=_np.int64),
+            _np.array(idxs, dtype=_np.int64),
+            cycle,
+        )
+
+    def _overflow(self, fs, o, eids, cycle: int) -> None:
+        """Raise the reference overflow error for the first offender."""
+        bad = int(fs[_np.argmax(o >= self.depth_flat[fs])])
+        raise BufferOverflowError(
+            f"VC overflow: {int(self.occ[bad])}/{int(self.depth_flat[bad])} "
+            "flits buffered, credit flow control violated",
+            cycle=cycle,
+            port=Direction((bad // self.V) % 5),
+            vc=bad % self.V,
+            packet=self.packets[int(eids[0])].packet_id,
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 2: credits
+    # ------------------------------------------------------------------
+    def _credits(self, cycle: int) -> None:
+        ev = self._credit_ev.pop(cycle, None)
+        if not ev:
+            return
+        interfaces = self.net.interfaces
+        V = self.V
+        for enc in ev:
+            pos = enc[enc >= 0]
+            if pos.size:
+                # One departure per input VC per cycle and a bijection
+                # from input VCs to upstream output VCs: indices are
+                # unique, a fancy-indexed add is exact.
+                self.credits_out[pos] += 1
+            neg = enc[enc < 0]
+            if neg.size:
+                for v in (-neg - 1).tolist():
+                    interfaces[v // V].credit_from_router(v % V)
+
+    # ------------------------------------------------------------------
+    # Phase 3: power-gating begin (punch delivery + controller FSMs)
+    # ------------------------------------------------------------------
+    def _flush_sink(self, cycle: int) -> None:
+        """Deliver the phase's collected punch wakeups in one
+        ``request_batch`` (full sleep-cancel semantics, deduplicated —
+        repeated same-node requests collapse to one, exactly like the
+        scalar sequence where the second call sees the updated state)."""
+        sink = self._punch_sink
+        if sink:
+            self.bank.request_batch(
+                _np.unique(_np.asarray(sink, dtype=_np.int64)),
+                cycle,
+                self.scheme.expectation_window,
+                True,
+            )
+            sink.clear()
+
+    def _relay_pairs(self, key, cycle: int) -> None:
+        """Process one pass's unique (router, target) pair keys: count
+        local deliveries, count one link transmission per distinct
+        (router, next-hop) relay group, and queue relays one hop out —
+        the batched body shared by ``PunchFabric.deliver`` /
+        ``send_local`` twins (counter-exact because pair keys within a
+        pass are unique, mirroring the per-call frozensets)."""
+        R = self.R
+        fab = self.scheme.fabric
+        r_arr = key // R
+        t_arr = key - r_arr * R
+        selfhit = t_arr == r_arr
+        delivered = int(selfhit.sum())
+        if delivered:
+            fab.targets_delivered += delivered
+            rel = ~selfhit
+            r_arr = r_arr[rel]
+            t_arr = t_arr[rel]
+        if r_arr.size:
+            nx = xy_next_hops(r_arr, t_arr, self.width)
+            fab.link_transmissions += int(_np.unique(r_arr * R + nx).size)
+            self._pend_writes.append(nx * R + t_arr)
+
+    def _deliver_punches(self, cycle: int) -> None:
+        """Batched twin of ``PunchFabric.deliver``: merge the queued
+        relay arrays (one ``np.unique`` replaces the per-router
+        dict-of-sets merge), process every pair, and flush one
+        ``request_batch`` for the punched routers."""
+        w = self._pend_writes
+        if not w:
+            return
+        key = _np.unique(w[0] if len(w) == 1 else _np.concatenate(w))
+        w.clear()
+        self._relay_pairs(key, cycle)
+        # ``key`` is sorted, so the punched routers (one ``on_punch``
+        # per pending router in the dict fabric) are the group firsts.
+        r_all = key // self.R
+        start, _ = _group_bounds(r_all)
+        self.bank.request_batch(
+            r_all[start], cycle, self.scheme.expectation_window, True
+        )
+
+    def _send_local_hook(self, router: int, targets, cycle: int) -> None:
+        """Swapped in for ``fabric.send_local`` around the scheme's
+        injection-punch pass: capture the sends, process them in one
+        batch afterwards (the pass never reads the bank in between)."""
+        self._inj_r.append(router)
+        self._inj_t.append(targets)
+
+    def _pg_begin(self, cycle: int) -> None:
+        """Batched twin of ``PowerGatedScheme.begin_cycle``.
+
+        The object kernel interleaves per-node ``request_wakeup`` /
+        ``step`` calls; batching is exact because controllers are
+        independent and, within one phase, per-node request order is
+        commutative (``wu_seen`` sticky, ``expect_until`` a max, the
+        OFF->WAKING transition idempotent).  Begin-phase requests can
+        never hit the same-cycle sleep-cancel edge: a sleep decided at
+        step ``c`` sets ``last_sleep = c + 1`` and every begin-phase
+        request arrives at ``c + 1`` or later.
+        """
+        bank = self.bank
+        sch = self.scheme
+        # Punch wavefront: batched matrix delivery, wakeups flushed in
+        # one ``request_batch`` before anything below reads the bank.
+        self._deliver_punches(cycle)
+        hold = sch._slack2_hold
+        if hold:
+            expired = []
+            for node, until in hold.items():
+                if cycle > until:
+                    expired.append(node)
+                else:
+                    bank.request_scalar(node, cycle, 0)
+            for node in expired:
+                del hold[node]
+        wants = self._wants
+        wants[:] = False
+        nodes = []
+        interfaces = self.net.interfaces
+        for node in sorted(self.net.active_nis):
+            if interfaces[node].wants_local_router(cycle):
+                wants[node] = True
+                nodes.append(node)
+        if nodes:
+            bank.request_batch(
+                _np.asarray(nodes, dtype=_np.int64), cycle, 0, False
+            )
+        # ``datapath_empty`` twin: buffers empty, nothing in flight,
+        # and no input VC holding a live allocation (a drained
+        # mid-packet stream must keep its router powered — its stalled
+        # body/tail flits assert no punch wires of their own).
+        empty = (
+            (self.router_occ == 0)
+            & (self.incoming == 0)
+            & (self.state.reshape(self.R, self._pv).max(axis=1) == 0)
+        )
+        bank.step_all(cycle, empty, wants)
+        sch._stepped_through = cycle
+        sch._bank_dirty = True
+
+    # ------------------------------------------------------------------
+    # Phase 4: VC allocation
+    # ------------------------------------------------------------------
+    def _va(self, cycle: int) -> None:
+        """Whole-mesh VA round.
+
+        The object kernel scans ``_occupied`` in insertion (``seq``)
+        order; grants interact only through their output *port* (shared
+        ``owner``/``vc_rr_pointer``), so ports with a single candidate
+        are granted with array ops and only ports contended by several
+        candidates fall back to a scalar loop in ``seq`` order.
+        """
+        cand = _np.where((self.state == 1) & (self.va_el <= cycle))[0]
+        if cand.size == 0:
+            return
+        if cand.size == 1:
+            f = int(cand[0])
+            self._va_grant_one(f, (f // self._pv) * 5 + int(self.route[f]), cycle)
+            return
+        okey = (cand // self._pv) * 5 + self.route[cand]
+        # One lexsort = the reference's seq-order scan stably regrouped
+        # by output port (okey primary, seq secondary).
+        osort = _np.lexsort((self.seq[cand], okey))
+        cs = cand[osort]
+        ks = okey[osort]
+        # Group boundaries on the sorted keys (np.unique would re-sort).
+        start, cnt = _group_bounds(ks)
+        singles = cnt == 1
+        if singles.any():
+            first = start[singles]
+            self._va_grant_vec(cs[first], ks[first], cycle)
+        if not singles.all():
+            for kidx in _np.flatnonzero(~singles).tolist():
+                s = int(start[kidx])
+                k = int(ks[s])
+                for f in cs[s : s + int(cnt[kidx])].tolist():
+                    self._va_grant_one(f, k, cycle)
+
+    def _va_grant_vec(self, fs, ks, cycle: int) -> None:
+        """Probe/grant for unique-output-port candidates (vectorized
+        twin of ``OutputPort.free_vc_in`` + the grant effects)."""
+        per = self.per
+        V = self.V
+        vstart = ((fs % V) // per) * per
+        rr = self.out_vc_rr[ks]
+        chosen = _np.full(fs.size, -1, dtype=_np.int64)
+        for i in range(per):
+            vci = vstart + (rr + i) % per
+            pick = (chosen < 0) & (self.owner_out[ks * V + vci] < 0)
+            if pick.any():
+                chosen[pick] = vci[pick]
+        g = chosen >= 0
+        if not g.any():
+            return
+        fg = fs[g]
+        kg = ks[g]
+        vg = chosen[g]
+        self.owner_out[kg * V + vg] = fg
+        self.out_vc_rr[kg] = (vg + 1) % V
+        self.out_vc[fg] = vg
+        self.state[fg] = 2
+        self.sa_el[fg] = cycle + self._sa_delta
+
+    def _va_grant_one(self, f: int, k: int, cycle: int) -> None:
+        per = self.per
+        V = self.V
+        vstart = ((f % V) // per) * per
+        rr = int(self.out_vc_rr[k])
+        for i in range(per):
+            vci = vstart + (rr + i) % per
+            if self.owner_out[k * V + vci] < 0:
+                self.owner_out[k * V + vci] = f
+                self.out_vc_rr[k] = (vci + 1) % V
+                self.out_vc[f] = vci
+                self.state[f] = 2
+                self.sa_el[f] = cycle + self._sa_delta
+                return
+
+    # ------------------------------------------------------------------
+    # Phase 5: switch allocation + traversal
+    # ------------------------------------------------------------------
+    def _sa(self, cycle: int) -> None:
+        """Whole-mesh SA round: readiness masks, the two round-robin
+        arbitration stages as grouped array ops, then a batched commit.
+        """
+        occ = self.occ
+        act = _np.where((self.state == 2) & (occ > 0))[0]
+        if act.size == 0:
+            return
+        gate = _np.maximum(
+            self.buf_arr[act, self.h[act]] + self._stage_gate, self.sa_el[act]
+        )
+        act = act[gate <= cycle]
+        if act.size == 0:
+            return
+        rt = self.route[act]
+        okey = (act // self._pv) * 5 + rt
+        local = rt == 0
+        ready = local.copy()
+        nonloc = ~local
+        if nonloc.any():
+            an = act[nonloc]
+            kn = okey[nonloc]
+            nb = self.connected_flat[kn]
+            if self.bank is not None:
+                ok_av = self.bank.available_by(cycle + 3)[nb]
+                if not ok_av.all():
+                    self._note_blocked(an[~ok_av], nb[~ok_av])
+            else:
+                ok_av = _np.ones(an.size, dtype=bool)
+            has_credit = self.credits_out[kn * self.V + self.out_vc[an]] > 0
+            ready[nonloc] = ok_av & has_credit
+        rdy = act[ready]
+        n = rdy.size
+        if n == 0:
+            return
+        if n == 1:
+            # Single ready VC: it nominates and wins unopposed; its
+            # port and output pointers advance exactly as the general
+            # path would move them.
+            f = int(rdy[0])
+            self.sa_rr_in[f // self.V] += 1
+            g = (f // self._pv) * 5 + int(self.route[f])
+            self.sa_rr_out[g] += 1
+            self._commit(rdy, _np.array([g], dtype=_np.int64), cycle)
+            return
+        # Stage 1 — each input port nominates one ready VC.  One
+        # lexsort = the reference seq-order scan stably regrouped by
+        # input port; group boundaries come from the sorted keys
+        # directly (np.unique would re-sort).  The port's RR pointer
+        # picks the nomination and every nominating port advances.
+        seq = self.seq
+        pkey = rdy // self.V
+        order = _np.lexsort((seq[rdy], pkey))
+        rs = rdy[order]
+        pk = pkey[order]
+        pstart, pcnt = _group_bounds(pk)
+        up = pk[pstart]
+        nom = rs[pstart + self.sa_rr_in[up] % pcnt]
+        self.sa_rr_in[up] += 1
+        # Reference nomination-group order: ports are visited in order
+        # of their first ready VC's seq, and each output's contender
+        # list inherits that order.
+        pf = seq[rs[pstart]]
+        if up.size == 1:
+            # One nominating port → one output group, granted outright.
+            g = (int(nom[0]) // self._pv) * 5 + int(self.route[nom[0]])
+            self.sa_rr_out[g] += 1
+            self._commit(nom, _np.array([g], dtype=_np.int64), cycle)
+            return
+        gkey = (nom // self._pv) * 5 + self.route[nom]
+        gsort = _np.lexsort((pf, gkey))
+        nm = nom[gsort]
+        pfs = pf[gsort]
+        gs = gkey[gsort]
+        gstart, gcnt = _group_bounds(gs)
+        ug = gs[gstart]
+        # Stage 2 — each output port grants one contender by its RR
+        # pointer; only granting outputs advance.
+        winners = nm[gstart + self.sa_rr_out[ug] % gcnt]
+        self.sa_rr_out[ug] += 1
+        # Departure emission order: the object kernel visits routers in
+        # ascending id and, within one router, output groups in
+        # first-contender order.
+        emit = _np.lexsort((pfs[gstart], ug // 5))
+        self._commit(winners[emit], ug[emit], cycle)
+
+    def _note_blocked(self, fs, nbs) -> None:
+        """Per-cycle blocked accounting for VCs stalled by a gated
+        neighbor (``PowerGatedScheme.note_blocked`` itself is a no-op
+        while engaged: the blocking fallback only arms with faults)."""
+        packets = self.packets
+        eids = self.buf_eid[fs, self.h[fs]]
+        for eid, nb in zip(eids.tolist(), nbs.tolist()):
+            packet = packets[eid]
+            packet.blocked_routers.add(nb)
+            packet.wakeup_wait_cycles += 1
+
+    def _commit(self, W, gk, cycle: int) -> None:
+        """Apply every grant's departure effects (batched
+        ``Router._commit_departure`` + ``Network._sa_depart``)."""
+        V = self.V
+        hh = self.h[W]
+        eids = self.buf_eid[W, hh]
+        idxs = self.buf_idx[W, hh]
+        self.h[W] = (hh + 1) % self.D
+        self.occ[W] -= 1
+        self.buffered_total -= W.size
+        rw = W // self._pv
+        _np.add.at(self.router_occ, rw, -1)
+        odir = gk % 5
+        ovc = self.out_vc[W]
+        o = gk * V + ovc
+        stats = self.net.stats
+        stats.router_traversals += int(W.size)
+        self.lc_flat[gk] += 1
+        # Credit return toward the sender (upstream router output port,
+        # or the local NI for LOCAL-port departures).
+        in_dir = (W // V) % 5
+        in_vc = W % V
+        upstream = self.connected_flat[rw * 5 + in_dir]
+        enc = _np.where(
+            in_dir == 0,
+            -(rw * V + in_vc) - 1,
+            (upstream * 5 + self.OPP[in_dir]) * V + in_vc,
+        )
+        self._credit_ev.setdefault(cycle + 2, []).append(enc)
+        nonloc = odir != 0
+        if nonloc.any():
+            self.credits_out[o[nonloc]] -= 1
+            stats.link_traversals += int(nonloc.sum())
+            hn = eids[nonloc & (idxs == 0)]
+            if hn.size:
+                self.pkt_hops[hn] += 1
+            nb = self.connected_flat[gk[nonloc]]
+            _np.add.at(self.incoming, nb, 1)
+            fo = (nb * 5 + self.OPP[odir[nonloc]]) * V + ovc[nonloc]
+            self._flit_ev.setdefault(cycle + 3, []).append(
+                (fo, eids[nonloc], idxs[nonloc])
+            )
+        if not nonloc.all():
+            loc = ~nonloc
+            self._eject_ev.setdefault(cycle + 1, []).append(
+                (rw[loc], eids[loc], idxs[loc])
+            )
+        tails = idxs == (self.pkt_nflits[eids] - 1)
+        if tails.any():
+            tw = W[tails]
+            self.owner_out[o[tails]] = -1
+            self.state[tw] = 0
+            self.route[tw] = -1
+            self.out_vc[tw] = -1
+            self.owner_eid[tw] = -1
+            # Follow-on packet already buffered behind the departed
+            # tail: its head restarts from VA (rare; scalar loop).
+            for f in tw[self.occ[tw] > 0].tolist():
+                self._activate_follow_on(f, cycle)
+
+    def _activate_follow_on(self, f: int, cycle: int) -> None:
+        hh = int(self.h[f])
+        eid = int(self.buf_eid[f, hh])
+        if int(self.buf_idx[f, hh]) != 0:
+            raise SimulationError(
+                "VC activation without a head flit at the buffer front",
+                cycle=cycle,
+                router=f // self._pv,
+                port=Direction((f // self.V) % 5),
+                vc=f % self.V,
+            )
+        self.state[f] = 1
+        self.owner_eid[f] = eid
+        self.out_vc[f] = -1
+        # The front flit arrived at or before this cycle, so the
+        # reference ``max(cycle + 1, front_arrival + 1)`` is cycle + 1.
+        self.va_el[f] = cycle + 1
+        self.route[f] = int(
+            self.net.routing.output_direction(
+                f // self._pv, int(self.pkt_dest[eid])
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Phase 6: power-gating end (punch generation)
+    # ------------------------------------------------------------------
+    def _pg_end(self, cycle: int) -> None:
+        """Twin of ``PowerGatedScheme.end_cycle``: mesh punches from
+        every buffered front head flit (vectorized targeted-router
+        computation, per-router delivery in ascending id order exactly
+        like the sorted active-set scan), then the scheme's own
+        injection-punch generator (it only touches NIs and the fabric,
+        both object-based and shared)."""
+        sch = self.scheme
+        occ_f = _np.where(self.occ > 0)[0]
+        if occ_f.size:
+            heads = occ_f[
+                (self.buf_idx[occ_f, self.h[occ_f]] == 0)
+                & (self.route[occ_f] > 0)
+            ]
+            if heads.size:
+                r = heads // self._pv
+                dests = self.pkt_dest[self.buf_eid[heads, self.h[heads]]]
+                targets = xy_routers_ahead(r, dests, sch.punch_hops, self.width)
+                # One batched pass over every (router, target) punch
+                # pair.  Routers are disjoint across the per-router
+                # sends this replaces, so the global pair dedup equals
+                # the per-call frozenset dedup (two heads at one router
+                # can punch the same target), and the punched-router
+                # set is the unique ``r`` values.
+                key = _np.unique(r * self.R + targets)
+                self._relay_pairs(key, cycle)
+                r_all = key // self.R
+                start, _ = _group_bounds(r_all)
+                self._punch_sink.extend(r_all[start].tolist())
+        # The injection pass only builds target sets and sends them (no
+        # bank reads), so its sends batch the same way and its wakeups
+        # join the same phase flush.
+        fab = sch.fabric
+        fab.send_local = self._send_local_hook
+        try:
+            sch._generate_injection_punches(cycle)
+        finally:
+            del fab.send_local
+        inj_r = self._inj_r
+        if inj_r:
+            inj_t = self._inj_t
+            counts = [len(t) for t in inj_t]
+            rs = _np.repeat(_np.asarray(inj_r, dtype=_np.int64), counts)
+            ts = _np.fromiter(
+                (t for s in inj_t for t in s),
+                dtype=_np.int64,
+                count=rs.size,
+            )
+            self._relay_pairs(rs * self.R + ts, cycle)
+            self._punch_sink.extend(inj_r)
+            inj_r.clear()
+            inj_t.clear()
+        self._flush_sink(cycle)
+
+    # ==================================================================
+    # Drain / census queries (engine twins of the Network methods)
+    # ==================================================================
+    def is_drained(self) -> bool:
+        net = self.net
+        for node in sorted(net.active_nis):
+            if net.interfaces[node].pending_packets():
+                return False
+        net.active_nis.clear()
+        if self.buffered_total:
+            return False
+        if self._flit_ev or self._eject_ev or self._credit_ev:
+            return False
+        return net.policy.pending_work() == 0
+
+    def in_flight_packets(self) -> int:
+        pending = sum(ni.pending_packets() for ni in self.net.interfaces)
+        flying = sum(
+            (e[0].size if isinstance(e[0], _np.ndarray) else 1)
+            for chunk in self._flit_ev.values()
+            for e in chunk
+        )
+        ejecting = sum(
+            e[0].size for chunk in self._eject_ev.values() for e in chunk
+        )
+        return pending + int(self.buffered_total) + flying + ejecting
+
+    def fold_link_counts(self) -> None:
+        """Fold the engine's link counters into the network's dicts."""
+        lc = self.lc_flat
+        if not lc.any():
+            return
+        counts = self.net._link_counts
+        for k in _np.nonzero(lc)[0].tolist():
+            counts[k // 5][Direction(k % 5)] += int(lc[k])
+        lc[:] = 0
+
+    # ==================================================================
+    # Disengagement
+    # ==================================================================
+    def materialize(self) -> None:
+        """Write every mirrored field back onto the object model and
+        unhook the engine, so the active kernel can continue mid-run
+        (e.g. when a fault injector or invariant checker is installed).
+        """
+        from ..powergate.controller import PGState
+
+        net = self.net
+        cycle = net.cycle
+        routers = net.routers
+        packets = self.packets
+        V = self.V
+        pv = self._pv
+        # Buffered flits, in global seq order so each router's
+        # ``_occupied`` dict regains the reference insertion order.
+        occ_f = _np.where(self.occ > 0)[0]
+        occ_f = occ_f[_np.argsort(self.seq[occ_f], kind="stable")]
+        for f in occ_f.tolist():
+            router = routers[f // pv]
+            vc = router.input_ports[Direction((f // V) % 5)].vcs[f % V]
+            hh = int(self.h[f])
+            for j in range(int(self.occ[f])):
+                slot = (hh + j) % self.D
+                vc.flits.append(
+                    Flit(packets[int(self.buf_eid[f, slot])], int(self.buf_idx[f, slot]))
+                )
+                vc.arrivals.append(int(self.buf_arr[f, slot]))
+            router._occupied[vc] = None
+        # Allocation state — includes drained-but-owned ACTIVE VCs,
+        # which hold no flits and live outside ``_occupied``.
+        for f in _np.where(self.state != 0)[0].tolist():
+            router = routers[f // pv]
+            vc = router.input_ports[Direction((f // V) % 5)].vcs[f % V]
+            vc.state = VC_STATE_FROM_CODE[int(self.state[f])]
+            rt = int(self.route[f])
+            vc.route = Direction(rt) if rt >= 0 else None
+            ov = int(self.out_vc[f])
+            vc.out_vc = ov if ov >= 0 else None
+            oe = int(self.owner_eid[f])
+            vc.owner_packet = packets[oe].packet_id if oe >= 0 else None
+            vc.va_eligible_at = int(self.va_el[f])
+            vc.sa_eligible_at = int(self.sa_el[f])
+        for r in range(self.R):
+            router = routers[r]
+            base = r * 5
+            for p in range(5):
+                d = Direction(p)
+                k = base + p
+                out_port = router.output_ports[d]
+                for v in range(V):
+                    out_port.credits[v] = int(self.credits_out[k * V + v])
+                    ow = int(self.owner_out[k * V + v])
+                    out_port.owner[v] = (
+                        None if ow < 0 else (Direction((ow // V) % 5), ow % V)
+                    )
+                out_port.vc_rr_pointer = int(self.out_vc_rr[k])
+                router.input_ports[d].sa_rr_pointer = int(self.sa_rr_in[k])
+                router._sa_out_rr[d] = int(self.sa_rr_out[k])
+            router.incoming_in_flight = int(self.incoming[r])
+            router._live_vcs = int(
+                _np.count_nonzero(self.state[r * pv : (r + 1) * pv])
+            )
+            # Conservative allocator wake deadlines (harmless no-op
+            # rounds at worst) and a head-version bump so scheme punch
+            # caches never serve pre-engagement entries.
+            router._va_wake_at = 0
+            router._sa_wake_at = 0
+            router.head_version += 1
+        for eid, packet in enumerate(packets):
+            packet.hops_taken = int(self.pkt_hops[eid])
+        # In-flight events back into the object queues (list order is
+        # the delivery order the object kernel will honor).
+        for c, entries in self._flit_ev.items():
+            out = net._flit_events[c]
+            for f, eid, idx in entries:
+                if isinstance(f, _np.ndarray):
+                    for ff, ee, ii in zip(f.tolist(), eid.tolist(), idx.tolist()):
+                        out.append(
+                            (
+                                ff // pv,
+                                Direction((ff // V) % 5),
+                                ff % V,
+                                Flit(packets[ee], ii),
+                            )
+                        )
+                else:
+                    out.append(
+                        (
+                            f // pv,
+                            Direction((f // V) % 5),
+                            f % V,
+                            Flit(packets[eid], idx),
+                        )
+                    )
+        for c, arrays in self._credit_ev.items():
+            out = net._credit_events[c]
+            for enc in arrays:
+                for e in enc.tolist():
+                    if e >= 0:
+                        out.append(
+                            (e // (5 * V), Direction((e // V) % 5), e % V)
+                        )
+                    else:
+                        v2 = -e - 1
+                        out.append((-(v2 // V) - 1, Direction.LOCAL, v2 % V))
+        for c, entries in self._eject_ev.items():
+            out = net._eject_events[c]
+            for nodes, eids, idxs in entries:
+                for nn, ee, ii in zip(
+                    nodes.tolist(), eids.tolist(), idxs.tolist()
+                ):
+                    out.append((nn, Flit(packets[ee], ii)))
+        self._flit_ev.clear()
+        self._credit_ev.clear()
+        self._eject_ev.clear()
+        net.active_routers.update(
+            int(x) for x in _np.nonzero(self.router_occ)[0]
+        )
+        self.fold_link_counts()
+        for ni in net.interfaces:
+            ni._send_flit = net._ni_send
+            ni._vc_probe = None
+        if self.bank is not None:
+            sch = self.scheme
+            controllers = sch._controllers
+            self.bank.flush_into(controllers)
+            sch._vector_bank = None
+            sch._bank_dirty = False
+            # Active-kernel bookkeeping: every non-OFF controller is
+            # armed, no controller is parked (flush cleared the parked
+            # fields), and the lazy-accounting clock reads the last
+            # cycle whose begin phase completed.
+            sch._armed = {
+                c.router_id for c in controllers if c.state is not PGState.OFF
+            }
+            sch._sleep_deadlines = {}
+            sch._punch_cache = {}
+            sch._stepped_through = cycle - 1
+            # In-flight punch wavefronts return to the object fabric's
+            # pending dict (values as mutable sets, the shape its
+            # non-memoized path mutates in place).
+            w = self._pend_writes
+            if w:
+                fab = sch.fabric
+                key = _np.unique(w[0] if len(w) == 1 else _np.concatenate(w))
+                w.clear()
+                r_all = key // self.R
+                t_all = key - r_all * self.R
+                start, cnt = _group_bounds(r_all)
+                for i in range(start.size):
+                    lo = int(start[i])
+                    fab._pending[int(r_all[lo])] = set(
+                        t_all[lo : lo + int(cnt[i])].tolist()
+                    )
+        net._engine = None

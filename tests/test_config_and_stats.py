@@ -79,3 +79,57 @@ class TestStats:
         assert stats.avg_packet_latency == 0.0
         assert stats.avg_blocked_routers == 0.0
         assert stats.throughput(64) == 0.0
+
+
+class TestStatsRoundTrip:
+    """``as_dict``/``from_dict`` carry every counter, both directions.
+
+    Bench fingerprints and campaign payloads persist ``as_dict`` dumps;
+    a counter missing from either half of the round-trip would escape
+    the kernel-equivalence and trend gates.
+    """
+
+    def _populated(self):
+        stats = NetworkStats(measure_from=17)
+        # Touch every public counter with a distinct value so a dropped
+        # or transposed field cannot cancel out.
+        for index, name in enumerate(sorted(stats.as_dict()), start=1):
+            if name != "measure_from":
+                setattr(stats, name, index * 3 + 1)
+        return stats
+
+    def test_round_trip_identity(self):
+        stats = self._populated()
+        dump = stats.as_dict()
+        assert NetworkStats.from_dict(dump).as_dict() == dump
+
+    def test_every_as_dict_key_is_a_field(self):
+        # from_dict(**dump) only works if as_dict stays a subset of the
+        # constructor fields; new counters must be added to both.
+        dump = NetworkStats().as_dict()
+        rebuilt = NetworkStats.from_dict(dump)
+        for key, value in dump.items():
+            assert getattr(rebuilt, key) == value
+
+    def test_fault_tolerance_counters_covered(self):
+        # The fault-tolerance counters must flow through serialization
+        # (and therefore through the bench fingerprint, which is built
+        # on as_dict) — a regression here would exempt them from the
+        # kernel-equivalence sweeps.
+        dump = NetworkStats().as_dict()
+        for counter in (
+            "wakeup_retries",
+            "rerouted_packets",
+            "detour_hops",
+            "refused_packets",
+            "refused_flits",
+            "dropped_packets",
+            "dropped_flits",
+        ):
+            assert counter in dump
+
+    def test_unknown_keys_fail_loudly(self):
+        dump = NetworkStats().as_dict()
+        dump["counter_from_the_future"] = 1
+        with pytest.raises(TypeError):
+            NetworkStats.from_dict(dump)

@@ -14,6 +14,15 @@ from repro.noc import Network, NoCConfig, VirtualNetwork, control_packet
 from repro.system import Chip, get_profile
 from repro.traffic import SyntheticTraffic, measure
 
+#: Every golden below must hold under all three per-cycle kernels —
+#: the numbers pin the simulated behaviour, not the implementation.
+KERNELS = ["active", "naive", "vector"]
+
+
+@pytest.fixture(params=KERNELS)
+def kernel(request):
+    return request.param
+
 
 class TestLatencyGoldens:
     @pytest.mark.parametrize(
@@ -26,16 +35,16 @@ class TestLatencyGoldens:
             (3, 2, 2, 3),  # self-addressed: inject + eject through local port
         ],
     )
-    def test_zero_load_single_flit(self, stages, src, dst, expected):
-        net = Network(NoCConfig(router_stages=stages))
+    def test_zero_load_single_flit(self, stages, src, dst, expected, kernel):
+        net = Network(NoCConfig(router_stages=stages, kernel=kernel))
         p = control_packet(src, dst, VirtualNetwork.REQUEST, 0)
         net.inject(p)
         net.run_until_drained(2000)
         assert p.network_latency == expected
 
-    def test_cold_start_convopt_golden(self):
+    def test_cold_start_convopt_golden(self, kernel):
         scheme = ConvOptPG(wakeup_latency=8)
-        net = Network(NoCConfig(), scheme)
+        net = Network(NoCConfig(kernel=kernel), scheme)
         for _ in range(30):
             net.step()
         p = control_packet(0, 7, VirtualNetwork.REQUEST, net.cycle)
@@ -45,9 +54,9 @@ class TestLatencyGoldens:
             76, 42, 8
         )
 
-    def test_cold_start_powerpunch_golden(self):
+    def test_cold_start_powerpunch_golden(self, kernel):
         scheme = PowerPunchPG(wakeup_latency=8)
-        net = Network(NoCConfig(), scheme)
+        net = Network(NoCConfig(kernel=kernel), scheme)
         for _ in range(30):
             net.step()
         p = control_packet(0, 7, VirtualNetwork.REQUEST, net.cycle)
@@ -59,8 +68,8 @@ class TestLatencyGoldens:
 
 
 class TestTrafficGoldens:
-    def test_uniform_random_nopg_golden(self):
-        net = Network(NoCConfig())
+    def test_uniform_random_nopg_golden(self, kernel):
+        net = Network(NoCConfig(kernel=kernel))
         traffic = SyntheticTraffic(net, "uniform_random", 0.01, seed=7)
         measure(net, traffic, warmup=500, measurement=2000)
         s = net.stats
@@ -68,9 +77,9 @@ class TestTrafficGoldens:
         assert s.total_network_latency == 14085
         assert s.router_traversals == 9588
 
-    def test_uniform_random_powerpunch_golden(self):
+    def test_uniform_random_powerpunch_golden(self, kernel):
         scheme = PowerPunchPG()
-        net = Network(NoCConfig(), scheme)
+        net = Network(NoCConfig(kernel=kernel), scheme)
         traffic = SyntheticTraffic(net, "uniform_random", 0.01, seed=7)
         measure(net, traffic, warmup=500, measurement=2000)
         s = net.stats

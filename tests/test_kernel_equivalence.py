@@ -1,19 +1,26 @@
-"""Cycle-exactness of the active-set kernel.
+"""Cycle-exactness of the active-set and vector kernels.
 
-The active-set kernel (``NoCConfig.kernel == "active"``) must be an
-observationally identical replica of the naive full-scan kernel
-(``kernel == "naive"``, the seed implementation): same stats counter by
-counter, same controller accounting, same per-packet timing — for every
-scheme, under synthetic and full-system PARSEC traffic.
+The active-set kernel (``NoCConfig.kernel == "active"``) and the
+structure-of-arrays vector kernel (``kernel == "vector"``, see
+``repro.noc.vector``) must be observationally identical replicas of the
+naive full-scan kernel (``kernel == "naive"``, the seed
+implementation): same stats counter by counter, same controller
+accounting, same per-packet timing — for every scheme, under synthetic
+and full-system PARSEC traffic.
 
-Two layers of evidence:
+Three layers of evidence:
 
 * golden equivalence — full :meth:`NetworkStats.as_dict` dumps compared
-  between kernels for all four schemes (plus the NoRD-like baseline)
-  across two seeds, and a PARSEC ``Chip`` run compared end to end;
-* a hypothesis property — at every cycle the kernel's work-sets contain
-  every component the naive scan would visit (routers with occupied
-  VCs, NIs with work, non-OFF controllers).
+  between all three kernels for all four schemes (plus the NoRD-like
+  baseline, which exercises the vector kernel's fallback path) across
+  two seeds, and a PARSEC ``Chip`` run compared end to end;
+* a hypothesis property — random ``(scheme, rate, seed)`` triples give
+  identical fingerprints across all three kernels, including under
+  ``degradation="reroute"`` with router-stall faults (where the vector
+  kernel must decline engagement and run on the active fallback);
+* a hypothesis property — at every cycle the active kernel's work-sets
+  contain every component the naive scan would visit (routers with
+  occupied VCs, NIs with work, non-OFF controllers).
 """
 
 import pytest
@@ -23,10 +30,13 @@ from hypothesis import strategies as st
 from repro.baselines import NoRDLike
 from repro.core import ConvOptPG, NoPG, PowerPunchPG, PowerPunchSignal
 from repro.noc import Network, NoCConfig
+from repro.noc.faults import FaultInjector, FaultSchedule, FaultSpec
 from repro.noc.invariants import InvariantChecker
 from repro.powergate.controller import PGState
 from repro.system import Chip, get_profile
 from repro.traffic import SyntheticTraffic, measure
+
+KERNELS = ("active", "naive", "vector")
 
 SCHEMES = {
     "NoPG": NoPG,
@@ -57,16 +67,29 @@ def _run_synthetic(scheme_name, kernel, seed, rate=0.02):
 
 
 class TestKernelEquivalence:
+    @pytest.mark.parametrize("kernel", ["active", "vector"])
     @pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
     @pytest.mark.parametrize("seed", [7, 23])
-    def test_synthetic_uniform_random(self, scheme_name, seed):
-        active = _run_synthetic(scheme_name, "active", seed)
+    def test_synthetic_uniform_random(self, scheme_name, seed, kernel):
+        candidate = _run_synthetic(scheme_name, kernel, seed)
         naive = _run_synthetic(scheme_name, "naive", seed)
-        assert active == naive
+        assert candidate == naive
+
+    def test_vector_engine_engages(self):
+        # Guard against silently testing the fallback: the whitelisted
+        # schemes must actually run on the SoA engine.
+        net = Network(NoCConfig(kernel="vector"), PowerPunchPG())
+        net.step()
+        assert net._engine is not None
+        # ...while the NoRD-like baseline (auxiliary transport the
+        # engine does not model) must decline engagement.
+        net = Network(NoCConfig(kernel="vector"), NoRDLike())
+        net.step()
+        assert net._engine is None
 
     def test_parsec_chip(self):
         results = []
-        for kernel in ("active", "naive"):
+        for kernel in KERNELS:
             chip = Chip(
                 NoCConfig(width=4, height=4, kernel=kernel),
                 PowerPunchPG(),
@@ -94,6 +117,88 @@ class TestKernelEquivalence:
         traffic.drain()
         assert net.invariants.checks_run > 0
         assert not net.invariants.violations
+
+
+class TestMidStreamSleepRegression:
+    """A router must not power-gate while an input VC holds a live
+    (drained mid-packet) allocation.
+
+    Falsifying example found by the three-kernel fingerprint property:
+    near saturation a stream stalls long enough for its next-hop
+    router's buffers to drain and its idle timeout to lapse, so the
+    router slept between the stream's body flits.  Only head flits
+    assert punch/wakeup wires, so the stranded tail could never wake
+    the router again and the network deadlocked (``DrainTimeoutError``
+    with the remnant of the stream in flight) — identically on all
+    three kernels.  ``Router.datapath_empty`` now also requires every
+    input-VC allocation to be released (``_live_vcs == 0``), which is
+    the hardware-faithful reading of the paper's sleep precondition:
+    a mid-wormhole VC's route/ownership state is datapath state.
+    """
+
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_near_saturation_run_drains(self, kernel):
+        net = Network(NoCConfig(kernel=kernel), PowerPunchSignal())
+        traffic = SyntheticTraffic(
+            net, "uniform_random", 0.06027341367988463, seed=5076
+        )
+        # Deadlocked inside the drain phase before the fix.
+        measure(net, traffic, warmup=200, measurement=800)
+        assert net.stats.delivered > 0
+        assert net.is_drained()
+
+
+class TestThreeKernelFingerprintProperty:
+    """Random workloads give identical fingerprints on all three kernels."""
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.005, max_value=0.08),
+        scheme_name=st.sampled_from(sorted(SCHEMES)),
+    )
+    def test_fingerprints_match(self, seed, rate, scheme_name):
+        dumps = [
+            _run_synthetic(scheme_name, kernel, seed, rate) for kernel in KERNELS
+        ]
+        assert dumps[0] == dumps[1] == dumps[2]
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        rate=st.floats(min_value=0.005, max_value=0.05),
+        dead=st.integers(min_value=0, max_value=15),
+        scheme_name=st.sampled_from(["NoPG", "ConvOptPG", "PowerPunchPG"]),
+    )
+    def test_fingerprints_match_under_reroute_faults(
+        self, seed, rate, dead, scheme_name
+    ):
+        # Fault injection is outside the vector engine's covered
+        # configurations: kernel="vector" must decline engagement and
+        # run bit-identically on the active fallback.
+        dumps = []
+        for kernel in KERNELS:
+            config = NoCConfig(
+                width=4,
+                height=4,
+                kernel=kernel,
+                degradation="reroute",
+                dead_router_threshold=50,
+            )
+            net = Network(config, SCHEMES[scheme_name]())
+            net.install_faults(
+                FaultInjector(
+                    FaultSchedule(
+                        [FaultSpec(kind="router_stall", router=dead, start=100)]
+                    )
+                )
+            )
+            traffic = SyntheticTraffic(net, "uniform_random", rate, seed=seed)
+            traffic.run(400)
+            if kernel == "vector":
+                assert net._engine is None
+            dumps.append(dict(net.stats.as_dict()))
+        assert dumps[0] == dumps[1] == dumps[2]
 
 
 class TestActiveSetCoverageProperty:
