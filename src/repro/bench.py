@@ -60,7 +60,6 @@ from .baselines import NoRDLike
 from .core import ConvOptPG, NoPG, PowerPunchPG, PowerPunchSignal
 from .noc import Network, NoCConfig
 from .noc.packet import Packet, VirtualNetwork
-from .noc.topology import MeshTopology
 from .traffic import SyntheticTraffic
 
 SCHEMES: Dict[str, Callable] = {
@@ -70,6 +69,10 @@ SCHEMES: Dict[str, Callable] = {
     "PowerPunchPG": PowerPunchPG,
     "NoRDLike": NoRDLike,
 }
+
+#: Schemes that run on every topology (multi-hop punch schemes are
+#: mesh-only, so non-mesh bench rows are restricted to these).
+PORTABLE_SCHEMES = ("NoPG", "ConvOptPG")
 
 #: Kernels every bench cell times and cross-checks.
 KERNELS = ("active", "naive", "vector")
@@ -100,7 +103,7 @@ class _TraceRecorder:
     """
 
     def __init__(self, config: NoCConfig) -> None:
-        self.topology = MeshTopology(config.width, config.height)
+        self.topology = config.make_topology()
         self.cycle = 0
         self.events: Trace = {}
         self.interfaces = [
@@ -177,8 +180,9 @@ def bench_config(
     cycles: int,
     repeat: int,
     seed: int = 7,
+    topology: str = "mesh",
 ) -> Dict[str, object]:
-    """Benchmark one (scheme, mesh, rate) cell under all three kernels.
+    """Benchmark one (scheme, fabric, rate) cell under all three kernels.
 
     A timing is only accepted once **every** repetition of the kernel
     produced the identical stats fingerprint and drain length — a
@@ -186,13 +190,15 @@ def bench_config(
     otherwise silently contribute its wall clock to the best-of.
     Previously only the last repetition was checked.
     """
-    base = NoCConfig(width=width, height=height)
+    base = NoCConfig(width=width, height=height, topology=topology)
     trace = record_trace(base, "uniform_random", rate, seed, cycles)
     timings: Dict[str, float] = {}
     fingerprints = {}
     total_cycles = {}
     for kernel in KERNELS:
-        config = NoCConfig(width=width, height=height, kernel=kernel)
+        config = NoCConfig(
+            width=width, height=height, topology=topology, kernel=kernel
+        )
         best = None
         for rep in range(repeat):
             net, elapsed = replay(config, scheme_name, trace, cycles)
@@ -242,6 +248,7 @@ def bench_config(
     vector_cps = total_cycles["vector"] / timings["vector"]
     return {
         "scheme": scheme_name,
+        "topology": topology,
         "width": width,
         "height": height,
         "injection_rate": rate,
@@ -254,9 +261,18 @@ def bench_config(
     }
 
 
+def parse_fabric(spec: str) -> Tuple[str, int, int]:
+    """Parse a fabric spec: ``8x8`` (mesh), ``torus:8x8``, ``ring:16``."""
+    topology, sep, dims = spec.partition(":")
+    if not sep:
+        topology, dims = "mesh", spec
+    width, sep, height = dims.partition("x")
+    return (topology, int(width), int(height) if sep else 1)
+
+
 def bench_campaign(
     schemes: List[str],
-    meshes: List[Tuple[int, int]],
+    fabrics: List[Tuple[str, int, int]],
     rates: List[float],
     cycles: int,
     repeat: int,
@@ -267,29 +283,39 @@ def bench_campaign(
     timings, which are not a function of the spec — so the campaign
     runs with ``cache_dir=None`` always; the engine contributes
     fan-out, retries and the shared progress-log format.
+
+    Multi-hop punch schemes are mesh-only, so non-mesh fabrics keep
+    only the :data:`PORTABLE_SCHEMES` subset of ``schemes``.
     """
     from .campaign import Campaign, CellSpec
 
     cells = tuple(
         CellSpec(
             kind="bench",
-            workload=f"{width}x{height}",
+            workload=(
+                f"{width}x{height}"
+                if topology == "mesh"
+                else f"{topology}:{width}x{height}"
+            ),
             scheme=scheme_name,
-            config=NoCConfig(width=width, height=height).to_items(),
+            config=NoCConfig(
+                width=width, height=height, topology=topology
+            ).to_items(),
             seed=7,
             injection_rate=rate,
             extras=(("cycles", cycles), ("repeat", repeat)),
         )
-        for width, height in meshes
+        for topology, width, height in fabrics
         for rate in rates
         for scheme_name in schemes
+        if topology == "mesh" or scheme_name in PORTABLE_SCHEMES
     )
     return Campaign(name="bench-kernel", cells=cells)
 
 
 def run_matrix(
     schemes: List[str],
-    meshes: List[Tuple[int, int]],
+    fabrics: List[Tuple[str, int, int]],
     rates: List[float],
     cycles: int,
     repeat: int,
@@ -307,14 +333,16 @@ def run_matrix(
     each cell's wall clock — a wedged kernel fails its cell instead of
     hanging the whole trend job.
     """
-    campaign = bench_campaign(schemes, meshes, rates, cycles, repeat)
+    campaign = bench_campaign(schemes, fabrics, rates, cycles, repeat)
     results = campaign.run(
         workers=workers, timeout=timeout, max_retries=max_retries
     )
     if verbose:
         for cell in results:
+            topo = cell.get("topology", "mesh")
+            label = "" if topo == "mesh" else f"{topo}:"
             print(
-                f"{cell['scheme']:>17} {cell['width']}x{cell['height']} "
+                f"{cell['scheme']:>17} {label}{cell['width']}x{cell['height']} "
                 f"rate={cell['injection_rate']:<5} "
                 f"active={cell['active_cps']:>9} c/s  "
                 f"naive={cell['naive_cps']:>9} c/s  "
@@ -344,7 +372,13 @@ def check_against_baseline(
     """
 
     def key(cell):
-        return (cell["scheme"], cell["width"], cell["height"], cell["injection_rate"])
+        return (
+            cell["scheme"],
+            cell.get("topology", "mesh"),
+            cell["width"],
+            cell["height"],
+            cell["injection_rate"],
+        )
 
     baseline_cells = {key(cell): cell for cell in baseline.get("results", [])}
     failures = []
@@ -386,8 +420,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--meshes",
         nargs="+",
-        default=["8x8", "16x16"],
-        help="mesh sizes as WxH",
+        default=["8x8", "16x16", "torus:8x8"],
+        help="fabrics as WxH (mesh), topology:WxH, or ring:N "
+        "(non-mesh fabrics bench portable schemes only)",
     )
     parser.add_argument(
         "--rates", nargs="+", type=float, default=[0.02, 0.05],
@@ -427,18 +462,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     if args.quick:
-        args.meshes = ["8x8"]
+        args.meshes = ["8x8", "torus:8x8"]
         args.rates = [0.02]
         args.repeat = 1
         args.cycles = min(args.cycles, 2000)
-    meshes = []
-    for spec in args.meshes:
-        width, _, height = spec.partition("x")
-        meshes.append((int(width), int(height)))
+    fabrics = [parse_fabric(spec) for spec in args.meshes]
 
     doc = run_matrix(
         args.schemes,
-        meshes,
+        fabrics,
         args.rates,
         args.cycles,
         args.repeat,

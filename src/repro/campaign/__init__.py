@@ -17,6 +17,7 @@ from .cli import (
     apply_robustness_args,
     campaign_argparser,
     engine_options,
+    require_mesh_topology,
 )
 from .engine import Campaign, CampaignError, CampaignStats, execute_cells
 from .runner import build_scheme, run_cell, run_parsec, run_synthetic
@@ -59,6 +60,7 @@ __all__ = [
     "error_signature",
     "execute_cells",
     "freeze_items",
+    "require_mesh_topology",
     "run_cell",
     "run_parsec",
     "run_synthetic",

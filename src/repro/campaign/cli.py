@@ -58,6 +58,13 @@ def add_campaign_args(
         default=None,
         help="quarantine ledger directory (default: <cache-dir>/quarantine)",
     )
+    group.add_argument(
+        "--topology",
+        choices=("mesh", "torus", "ring"),
+        default="mesh",
+        help="network fabric for the campaign (experiments that only "
+        "reproduce mesh figures reject non-mesh values)",
+    )
     if suite_cache:
         group.add_argument(
             "--cache",
@@ -131,6 +138,23 @@ def apply_robustness_args(args: argparse.Namespace) -> bool:
         threshold if threshold is not None else ambient_threshold,
     )
     return True
+
+
+def require_mesh_topology(args: argparse.Namespace, what: str) -> None:
+    """Reject ``--topology`` values a mesh-only experiment cannot honor.
+
+    The paper's punch-scheme figures are defined on the 2D mesh (the
+    punch-target decomposition is XY-specific), so their campaign
+    scripts fail fast with an actionable message instead of crashing
+    deep inside scheme attachment.
+    """
+    topology = getattr(args, "topology", "mesh")
+    if topology != "mesh":
+        raise SystemExit(
+            f"{what} reproduces mesh-only paper figures and does not "
+            f"support --topology {topology}; use the 'topologies' "
+            "experiment for cross-fabric comparisons"
+        )
 
 
 def campaign_argparser(

@@ -236,6 +236,7 @@ def _run_bench_cell(spec: CellSpec) -> dict:
         params["cycles"],
         params["repeat"],
         seed=spec.seed,
+        topology=config.topology,
     )
 
 

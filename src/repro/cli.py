@@ -70,6 +70,7 @@ from .experiments import (
     reliability,
     scalability,
     table1,
+    topologies,
 )
 
 _COMMANDS = {
@@ -85,6 +86,7 @@ _COMMANDS = {
     "baselines": baselines_compare.main,
     "headline": headline.main,
     "reliability": reliability.main,
+    "topologies": topologies.main,
 }
 
 #: Valid values for the global ``--degradation`` override.
@@ -133,6 +135,7 @@ def _run_all(argv: Sequence[str]) -> None:
         ("scalability", scalability.main),
         ("ablations", ablations.main),
         ("baselines", baselines_compare.main),
+        ("topologies", topologies.main),
     ):
         print(f"\n==== {name} ====")
         main(list(engine_flags))

@@ -23,6 +23,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Set, Tuple
 
+from ..noc.errors import UnsupportedTopologyError
 from ..noc.network import Network
 from ..noc.packet import Packet
 from ..noc.policy import AlwaysOnPolicy, PowerPolicy
@@ -136,6 +137,18 @@ class PowerGatedScheme(PowerPolicy):
             self.punch_hops = max(1, math.ceil(self.wakeup_latency / cfg.router_stages))
         else:
             self.punch_hops = self._punch_hops
+        if self.punch_hops > 1 and cfg.topology != "mesh":
+            # Multi-hop punch signals are Power Punch's contribution and
+            # stay mesh+XY: the contention-free encoding (Sec. 4.1) is
+            # derived from XY's turn restrictions.  One-hop wakeup
+            # (ConvOpt-PG) only needs the generic next-hop relation and
+            # runs on any fabric.
+            raise UnsupportedTopologyError(
+                f"scheme {self.name!r} (punch_hops={self.punch_hops})",
+                cfg.topology,
+                reason="multi-hop punch encoding is derived from XY "
+                "turn restrictions on the mesh",
+            )
         self.expectation_window = (
             self.punch_hops * cfg.hop_latency if self.use_forewarning else 0
         )

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options, require_mesh_topology
 from .common import format_table
 
 DEFAULT_LOAD = 0.01
@@ -205,6 +205,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser = campaign_argparser(__doc__)
     parser.add_argument("--measurement", type=int, default=4000)
     args = parser.parse_args(argv)
+    require_mesh_topology(args, 'the ablations experiment')
     m = args.measurement
     engine = engine_options(args)
     print(_table("Ablation: punch horizon (Twakeup=8, 3-stage)", punch_hops_sweep(measurement=m, **engine)))

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options, require_mesh_topology
 from .common import format_table
 
 _SCHEMES = ["No-PG", "ConvOpt-PG", "PowerPunch-PG", "NoRD-like"]
@@ -94,6 +94,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--load", type=float, default=0.01)
     parser.add_argument("--measurement", type=int, default=5000)
     args = parser.parse_args(argv)
+    require_mesh_topology(args, 'the baselines comparison')
     print(
         report(
             run_comparison(

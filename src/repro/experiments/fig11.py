@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Optional, Sequence
 
-from ..campaign import campaign_argparser, engine_options
+from ..campaign import campaign_argparser, engine_options, require_mesh_topology
 from .common import SCHEME_ORDER, format_table, mean
 from .parsec_suite import suite_records
 
@@ -82,6 +82,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
     parser = campaign_argparser(__doc__, suite_cache=True, instructions=True)
     args = parser.parse_args(argv)
+    require_mesh_topology(args, 'the Fig. 11 experiment')
     print(
         report(
             suite_records(

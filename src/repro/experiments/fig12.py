@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options, require_mesh_topology
 from .common import RunRecord, format_table
 
 #: Sweep loads per pattern (flits/node/cycle).  Transpose and
@@ -132,6 +132,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--measurement", type=int, default=5000)
     parser.add_argument("--csv", default=None, help="export all rows as CSV")
     args = parser.parse_args(argv)
+    require_mesh_topology(args, 'the Fig. 12 experiment')
     all_records = []
     for pattern in args.patterns:
         records = run_sweep(

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options, require_mesh_topology
 from ..noc import NoCConfig
 from .common import RunRecord, format_table
 
@@ -130,6 +130,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--load", type=float, default=PARSEC_AVG_LOAD)
     parser.add_argument("--measurement", type=int, default=5000)
     args = parser.parse_args(argv)
+    require_mesh_topology(args, 'the Fig. 13 experiment')
     print(
         report(
             run_sensitivity(

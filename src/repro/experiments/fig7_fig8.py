@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Optional, Sequence
 
-from ..campaign import campaign_argparser, engine_options
+from ..campaign import campaign_argparser, engine_options, require_mesh_topology
 from .common import SCHEME_ORDER, format_table, mean
 from .parsec_suite import suite_records
 
@@ -83,6 +83,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
     parser = campaign_argparser(__doc__, suite_cache=True, instructions=True)
     args = parser.parse_args(argv)
+    require_mesh_topology(args, 'the Fig. 7/8 experiment')
     records = suite_records(
         args.cache, instructions=args.instructions, **engine_options(args)
     )

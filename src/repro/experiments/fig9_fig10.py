@@ -16,7 +16,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Optional, Sequence
 
-from ..campaign import campaign_argparser, engine_options
+from ..campaign import campaign_argparser, engine_options, require_mesh_topology
 from .common import format_table, mean
 from .parsec_suite import suite_records
 
@@ -84,6 +84,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
     parser = campaign_argparser(__doc__, suite_cache=True, instructions=True)
     args = parser.parse_args(argv)
+    require_mesh_topology(args, 'the Fig. 9/10 experiment')
     print(
         report(
             suite_records(

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options, require_mesh_topology
 from ..system import PARSEC_BENCHMARKS
 from .common import (
     CANONICAL_INSTRUCTIONS,
@@ -113,6 +113,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--benchmarks", nargs="*", default=None)
     parser.add_argument("--seed", type=int, default=1)
     args = parser.parse_args(argv)
+    require_mesh_topology(args, 'the PARSEC suite')
     records = run_suite(
         benchmarks=args.benchmarks,
         instructions=args.instructions,

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import json
 import math
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from ..campaign import (
     Campaign,
@@ -41,6 +41,7 @@ from ..campaign import (
     add_robustness_args,
     campaign_argparser,
     engine_options,
+    require_mesh_topology,
 )
 from ..noc import NoCConfig
 from .common import format_table
@@ -243,6 +244,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     parser.add_argument("--base-seed", type=int, default=1)
     parser.add_argument("--out", default=None, help="write the estimate as JSON")
     args = parser.parse_args(argv)
+    require_mesh_topology(args, "the reliability campaign")
     degradation = "reroute" if args.reroute else (args.degradation or "reroute")
     threshold = (
         args.dead_router_threshold if args.dead_router_threshold is not None else 200

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options
+from ..campaign import Campaign, CellSpec, campaign_argparser, engine_options, require_mesh_topology
 from ..noc import NoCConfig
 from .common import RunRecord, format_table
 
@@ -118,6 +118,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "fastest on large meshes)",
     )
     args = parser.parse_args(argv)
+    require_mesh_topology(args, 'the scalability experiment')
     print(
         report(
             run_scalability(

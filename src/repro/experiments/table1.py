@@ -79,13 +79,14 @@ def table1_campaign(width: int = 8, hops: int = 3, router: int = 27):
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
-    from ..campaign import campaign_argparser, engine_options
+    from ..campaign import campaign_argparser, engine_options, require_mesh_topology
 
     parser = campaign_argparser(__doc__)
     parser.add_argument("--width", type=int, default=8)
     parser.add_argument("--hops", type=int, default=3)
     parser.add_argument("--router", type=int, default=27)
     args = parser.parse_args(argv)
+    require_mesh_topology(args, 'the Table 1 experiment')
     campaign = table1_campaign(width=args.width, hops=args.hops, router=args.router)
     engine = engine_options(args)
     engine.pop("workers")  # a single analysis cell never needs a pool

@@ -1,8 +1,14 @@
-"""NoC simulator substrate: mesh topology, XY routing, VC wormhole routers."""
+"""NoC simulator substrate: pluggable topologies, VC wormhole routers.
 
-from .config import NoCConfig
+The default fabric is the paper's 2D mesh with XY routing; torus and
+ring fabrics (with dateline VC-class routing) are available as baseline
+comparison points via ``NoCConfig(topology=...)``.
+"""
+
+from .config import VALID_TOPOLOGIES, NoCConfig
 from .errors import (
     BufferOverflowError,
+    ConfigError,
     DeadlockError,
     DegradedNetworkError,
     DrainTimeoutError,
@@ -11,6 +17,7 @@ from .errors import (
     NIQueueOverflowError,
     SimulationError,
     TopologyError,
+    UnsupportedTopologyError,
 )
 from .faults import (
     FAULT_KINDS,
@@ -38,15 +45,35 @@ from .packet import (
 )
 from .policy import AlwaysOnPolicy, PowerPolicy
 from .router import Router
-from .routing import FaultTolerantRouting, XYRouting
+from .routing import (
+    FaultTolerantRouting,
+    RingRouting,
+    RoutingAlgorithm,
+    TorusRouting,
+    XYRouting,
+    default_routing,
+)
 from .stats import DroppedPacket, NetworkStats
-from .topology import ALL_DIRECTIONS, MESH_DIRECTIONS, Direction, MeshTopology
+from .topology import (
+    ALL_DIRECTIONS,
+    MESH_DIRECTIONS,
+    Coordinate,
+    Direction,
+    Mesh2D,
+    MeshTopology,
+    Ring,
+    Topology,
+    Torus2D,
+    make_topology,
+)
 
 __all__ = [
     "ALL_DIRECTIONS",
     "AlwaysOnPolicy",
     "BufferOverflowError",
     "CONTROL_PACKET_FLITS",
+    "ConfigError",
+    "Coordinate",
     "DATA_PACKET_FLITS",
     "DeadlockError",
     "DegradedNetworkError",
@@ -64,6 +91,7 @@ __all__ = [
     "InvariantChecker",
     "InvariantViolation",
     "MESH_DIRECTIONS",
+    "Mesh2D",
     "MeshTopology",
     "NIQueueOverflowError",
     "Network",
@@ -74,15 +102,25 @@ __all__ = [
     "Packet",
     "PostMortem",
     "PowerPolicy",
+    "Ring",
+    "RingRouting",
     "Router",
+    "RoutingAlgorithm",
     "SAMPLABLE_FAULT_KINDS",
     "SimulationError",
+    "Topology",
     "TopologyError",
+    "TorusRouting",
+    "Torus2D",
+    "UnsupportedTopologyError",
+    "VALID_TOPOLOGIES",
     "VirtualNetwork",
     "XYRouting",
     "clear_ambient",
     "control_packet",
     "data_packet",
+    "default_routing",
+    "make_topology",
     "sample_fault_schedule",
     "set_ambient",
 ]

@@ -13,14 +13,16 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Dict, Tuple
 
-from .errors import ConfigError
+from .errors import ConfigError, UnsupportedTopologyError
 from .packet import NUM_VNETS, VirtualNetwork
+from .topology import TOPOLOGIES, Topology, make_topology
 
 #: Valid values of the enumerated config fields, validated at
 #: construction time so a typo (``kernel="vecotr"``) fails loudly with
 #: the option list instead of silently running some other kernel.
 VALID_KERNELS = ("active", "naive", "vector")
 VALID_DEGRADATIONS = ("none", "drop", "reroute", "fail_fast")
+VALID_TOPOLOGIES = tuple(sorted(TOPOLOGIES))
 
 
 @dataclass
@@ -72,6 +74,13 @@ class NoCConfig:
     #: open before the router is declared permanently dead (only
     #: consulted when ``degradation`` is not ``"none"``).
     dead_router_threshold: int = 1000
+    #: Fabric shape: ``"mesh"`` (the paper's evaluation platform),
+    #: ``"torus"`` (wrap-around links, dateline VC classes) or
+    #: ``"ring"`` (a single ``width * height``-node cycle).  Non-mesh
+    #: fabrics are baseline comparison points: punch-based schemes and
+    #: ``degradation="reroute"`` stay mesh-only (validated here and at
+    #: scheme attach).
+    topology: str = "mesh"
 
     def __post_init__(self) -> None:
         if self.router_stages not in (3, 4):
@@ -80,12 +89,38 @@ class NoCConfig:
             raise ConfigError("kernel", self.kernel, VALID_KERNELS)
         if self.degradation not in VALID_DEGRADATIONS:
             raise ConfigError("degradation", self.degradation, VALID_DEGRADATIONS)
+        if self.topology not in VALID_TOPOLOGIES:
+            raise ConfigError("topology", self.topology, VALID_TOPOLOGIES)
         if self.dead_router_threshold < 1:
             raise ValueError("dead_router_threshold must be positive")
         if self.vcs_per_vnet < 1:
             raise ValueError("need at least one VC per virtual network")
         if self.link_latency != 1:
             raise ValueError("only single-cycle links are supported")
+        if self.topology != "mesh":
+            if self.degradation == "reroute":
+                # FaultTolerantRouting's up*/down* detour is certified
+                # against XY on the mesh; wrapped fabrics would need a
+                # dateline-aware variant that does not exist yet.
+                raise UnsupportedTopologyError(
+                    'degradation="reroute"', self.topology
+                )
+            if self.vcs_per_vnet < 2:
+                raise UnsupportedTopologyError(
+                    f"vcs_per_vnet={self.vcs_per_vnet}",
+                    self.topology,
+                    reason="wrap-around links need two dateline VC "
+                    "classes per virtual network",
+                )
+        # Dimension minimums differ per fabric (2x2 mesh, 3x3 torus,
+        # 3-node ring); building the topology validates them eagerly so
+        # a bad shape fails at config time, not deep in network setup.
+        self.make_topology()
+
+    # ------------------------------------------------------------------
+    def make_topology(self) -> Topology:
+        """Instantiate the configured :class:`Topology`."""
+        return make_topology(self.topology, self.width, self.height)
 
     # ------------------------------------------------------------------
     @property

@@ -61,13 +61,22 @@ class PostMortem:
     #: Last-N events from the flight recorder, oldest first.
     recent_events: List[object] = field(default_factory=list)
 
+    @staticmethod
+    def _node(node_id, coord) -> str:
+        """``R27(3,3)``-style label (plain ``R27`` without a coord)."""
+        if coord is None:
+            return f"R{node_id}"
+        return f"R{node_id}({','.join(str(c) for c in coord)})"
+
     def render(self) -> str:
         """Multi-line human-readable post-mortem report."""
         lines = [f"=== post-mortem @ cycle {self.cycle}: {self.reason} ==="]
         lines.append(f"--- stuck packets ({len(self.stuck_packets)}) ---")
         for p in self.stuck_packets:
+            src = self._node(p["source"], p.get("source_coord"))
+            dst = self._node(p["destination"], p.get("destination_coord"))
             lines.append(
-                f"  pkt#{p['packet_id']} {p['source']}->{p['destination']} "
+                f"  pkt#{p['packet_id']} {src}->{dst} "
                 f"vnet={p['vnet']} age={p['age']} "
                 f"(created@{p['created_at']}, injected@{p['injected_at']}) "
                 f"wakeup_wait={p['wakeup_wait_cycles']}"
@@ -77,8 +86,9 @@ class PostMortem:
                 lines.append(f"    blocked by routers: {p['blocked_routers']}")
         lines.append(f"--- routers on stuck routes ({len(self.routers)}) ---")
         for r in self.routers:
+            label = self._node(r["router_id"], r.get("coord"))
             lines.append(
-                f"  R{r['router_id']}: pg={r['pg_state']} "
+                f"  {label}: pg={r['pg_state']} "
                 f"incoming_in_flight={r['incoming_in_flight']}"
             )
             for occ in r["occupied_vcs"]:
@@ -91,6 +101,12 @@ class PostMortem:
         for event in self.recent_events:
             lines.append(f"  {event}")
         return "\n".join(lines)
+
+
+def _coord_pair(topology, node: int) -> tuple:
+    """Node coordinate as a plain ``(x, y)`` tuple for post-mortems."""
+    c = topology.coord(node)
+    return (c.x, c.y)
 
 
 class InvariantChecker:
@@ -470,6 +486,7 @@ class InvariantChecker:
         packets = packets[:10]
         stuck_dumps = []
         route_routers: Dict[int, None] = {}
+        topology = network.topology
         for packet in packets:
             route = self._route_of(packet)
             for rid in route:
@@ -479,7 +496,9 @@ class InvariantChecker:
                 {
                     "packet_id": packet.packet_id,
                     "source": packet.source,
+                    "source_coord": _coord_pair(topology, packet.source),
                     "destination": packet.destination,
+                    "destination_coord": _coord_pair(topology, packet.destination),
                     "vnet": int(packet.vnet),
                     "created_at": packet.created_at,
                     "injected_at": packet.injected_at,
@@ -546,6 +565,7 @@ class InvariantChecker:
             )
         return {
             "router_id": rid,
+            "coord": _coord_pair(self.network.topology, rid),
             "pg_state": pg_state,
             "incoming_in_flight": router.incoming_in_flight,
             "occupied_vcs": occupied,

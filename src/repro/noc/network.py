@@ -44,15 +44,20 @@ from typing import TYPE_CHECKING, Callable, DefaultDict, Dict, List, Optional, S
 
 from .buffers import VCState
 from .config import NoCConfig
-from .errors import DegradedNetworkError, DrainTimeoutError, TopologyError
+from .errors import (
+    DegradedNetworkError,
+    DrainTimeoutError,
+    TopologyError,
+    UnsupportedTopologyError,
+)
 from .faults import FaultInjector, FaultSchedule, ambient_config
 from .network_interface import NetworkInterface
 from .packet import Flit, Packet
 from .policy import AlwaysOnPolicy, PowerPolicy
 from .router import Router
-from .routing import FaultTolerantRouting, XYRouting
+from .routing import FaultTolerantRouting, RoutingAlgorithm, default_routing
 from .stats import NetworkStats
-from .topology import Direction, MeshTopology
+from .topology import Direction
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .invariants import InvariantChecker
@@ -76,7 +81,7 @@ class Network:
         policy: Optional[PowerPolicy] = None,
     ) -> None:
         self.config = config
-        self.topology = MeshTopology(config.width, config.height)
+        self.topology = config.make_topology()
         # The ambient --degradation/--dead-router-threshold overrides
         # must be known before routers are built: reroute mode swaps in
         # the fault-tolerant routing function, and every router holds a
@@ -99,9 +104,15 @@ class Network:
             else config.dead_router_threshold
         )
         if self._degradation == "reroute":
-            self.routing: XYRouting = FaultTolerantRouting(self.topology)
+            # Config validation keeps reroute mesh-only, but the
+            # ambient override path can request it too — same rule.
+            if self.topology.name != "mesh":
+                raise UnsupportedTopologyError(
+                    'degradation="reroute"', self.topology.name
+                )
+            self.routing: RoutingAlgorithm = FaultTolerantRouting(self.topology)
         else:
-            self.routing = XYRouting(self.topology)
+            self.routing = default_routing(self.topology)
         self.policy = policy if policy is not None else AlwaysOnPolicy()
         self.cycle = 0
         self.stats = NetworkStats()
@@ -144,7 +155,7 @@ class Network:
         #: Read through the ``link_counts`` property, which folds in the
         #: vector engine's array counters when one is engaged.
         self._link_counts: List[Dict[Direction, int]] = [
-            {d: 0 for d in Direction} for _ in range(config.num_nodes)
+            {d: 0 for d in self.topology.ports} for _ in range(config.num_nodes)
         ]
 
         # Event queues keyed by delivery cycle.
@@ -207,6 +218,11 @@ class Network:
         checker.attach(self)
         if self.faults is not None:
             self.faults.ring = checker.ring
+        if self.routing.restricts_vcs:
+            # Wrapped fabrics certify their dateline VC-class scheme up
+            # front: an acyclic channel-dependency graph, or a loud
+            # InvariantViolation before the first cycle runs.
+            self.routing.verify_deadlock_free()
 
     # ------------------------------------------------------------------
     # Producer-facing API

@@ -26,8 +26,8 @@ from .buffers import BufferOverflowError, InputPort, OutputPort, VCState, Virtua
 from .config import NoCConfig
 from .errors import SimulationError, TopologyError
 from .packet import Flit
-from .routing import XYRouting
-from .topology import ALL_DIRECTIONS, Direction
+from .routing import RoutingAlgorithm
+from .topology import Direction
 
 #: Callback signature used to hand a departing flit to the network
 #: kernel: (flit, in_direction, in_vc, out_direction, out_vc).
@@ -39,28 +39,29 @@ _NEVER = 1 << 60
 
 
 class Router:
-    """One mesh router."""
+    """One router; its port set comes from the routing's topology."""
 
     def __init__(
         self,
         router_id: int,
         config: NoCConfig,
-        routing: XYRouting,
+        routing: RoutingAlgorithm,
     ) -> None:
         self.router_id = router_id
         self.config = config
         self.routing = routing
+        ports = routing.topology.ports
         depths = config.depths_by_vc()
         self.input_ports: Dict[Direction, InputPort] = {
-            d: InputPort(d, depths) for d in ALL_DIRECTIONS
+            d: InputPort(d, depths) for d in ports
         }
         self.output_ports: Dict[Direction, OutputPort] = {
-            d: OutputPort(d, depths) for d in ALL_DIRECTIONS
+            d: OutputPort(d, depths) for d in ports
         }
         #: Adjacent router id per direction (None at mesh edges);
         #: LOCAL maps to this router itself.  Filled in by the network.
         self.connected: Dict[Direction, Optional[int]] = {
-            d: None for d in ALL_DIRECTIONS
+            d: None for d in ports
         }
         self.connected[Direction.LOCAL] = router_id
         #: Flits currently flying toward this router (sent but not yet
@@ -75,7 +76,7 @@ class Router:
         #: :meth:`datapath_empty`.
         self._live_vcs = 0
         #: Switch-allocation round-robin pointer per output direction.
-        self._sa_out_rr: Dict[Direction, int] = {d: 0 for d in ALL_DIRECTIONS}
+        self._sa_out_rr: Dict[Direction, int] = {d: 0 for d in ports}
         #: Non-empty input VCs (the per-cycle working set).  A dict is
         #: used as an insertion-ordered set so iteration order — and
         #: therefore arbitration and the whole simulation — is
@@ -204,7 +205,16 @@ class Router:
                 continue
             out_port = self.output_ports[vc.route]
             vnet = self.config.vnet_of_vc(vc.vc_index)
-            candidate = out_port.free_vc_in(self.config.vcs_of_vnet(vnet))
+            vc_range = self.config.vcs_of_vnet(vnet)
+            if self.routing.restricts_vcs:
+                # Dateline routings restrict the claimable VCs per link
+                # (deadlock freedom on wrapped fabrics); plain XY never
+                # takes this branch, keeping the mesh hot path intact.
+                vc_range = self.routing.vc_choices(
+                    self.router_id, vc.route,
+                    vc.front.packet.destination, vc_range,
+                )
+            candidate = out_port.free_vc_in(vc_range)
             if candidate is None:
                 # All downstream VCs owned: one may free up any cycle.
                 if cycle + 1 < next_va:

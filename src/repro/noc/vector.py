@@ -21,11 +21,20 @@ object-based — their per-cycle work is proportional to *activity*, not
 mesh size, and both are shared verbatim with the object kernels, which
 keeps the wakeup/forewarning timing identical by construction.
 
-Flat indexing: with ``V = config.num_vcs`` VCs per port and 5 ports
-per router, input VC ``(router r, port p, vc v)`` lives at flat index
-``f = (r * 5 + p) * V + v``; output VC ``(r, p, v)`` uses the same
-formula on the output side (``credits_out`` / ``owner_out``).  Port
-codes are the :class:`~repro.noc.topology.Direction` values (LOCAL=0).
+Flat indexing: with ``V = config.num_vcs`` VCs per port and ``P =
+topology.num_ports`` ports per router (5 on mesh/torus, 3 on a ring),
+input VC ``(router r, port p, vc v)`` lives at flat index ``f = (r * P
++ p) * V + v``; output VC ``(r, p, v)`` uses the same formula on the
+output side (``credits_out`` / ``owner_out``).  Port codes are the
+:class:`~repro.noc.topology.Direction` values (LOCAL=0), contiguous
+``0..P-1`` by the topology port-model contract.
+
+On the mesh, routing uses XY closed forms over node ids; other
+topologies pre-compute dense ``(current, destination)`` direction and
+dateline-VC-class tables from the routing object at engagement.
+Power-gated schemes engage on the mesh only: their punch-target
+decomposition is XY-specific (non-mesh + gated falls back to the
+cycle-exact active kernel).
 
 Engagement: :func:`try_engage` activates the engine on the *first*
 network step only, and only for configurations it covers exactly —
@@ -54,8 +63,10 @@ from .packet import Flit
 from .routing import xy_direction_codes, xy_next_hops, xy_routers_ahead
 from .topology import Direction
 
-#: Opposite-direction lookup by Direction code (LOCAL, XPOS, XNEG, YPOS, YNEG).
-_OPP_LIST = [0, 2, 1, 4, 3]
+def _opposite_codes(num_ports: int):
+    """Opposite-direction lookup by Direction code (``LOCAL`` maps to
+    itself); valid for any contiguous ``0..P-1`` port model."""
+    return [int(Direction(p).opposite) for p in range(num_ports)]
 
 
 def _group_bounds(keys):
@@ -119,6 +130,12 @@ def try_engage(net) -> Optional["VectorEngine"]:
         # Unknown subclass: its hooks may read controller objects the
         # engine keeps stale mid-run.
         return None
+    if gated and net.topology.name != "mesh":
+        # Punch-target generation (`_pg_end`) and punch relaying use
+        # the XY closed forms, which only mirror the mesh routing
+        # relation; gated schemes on other fabrics stay on the
+        # cycle-exact active kernel.
+        return None
     return VectorEngine(net, gated)
 
 
@@ -134,13 +151,44 @@ class VectorEngine:
         self.V = V = cfg.num_vcs
         self.per = cfg.vcs_per_vnet
         self.width = cfg.width
-        self._pv = 5 * V
-        S = R * 5 * V
+        self.P = P = net.topology.num_ports
+        self._pv = P * V
+        S = R * P * V
         depths = cfg.depths_by_vc()
         self.D = D = max(depths.values())
         self._stage_gate = cfg.router_stages - 2
         self._sa_delta = 1 if cfg.router_stages == 4 else 0
-        self.OPP = _np.array(_OPP_LIST, dtype=_np.int64)
+        self.OPP = _np.array(_opposite_codes(P), dtype=_np.int64)
+
+        # --- routing tables (non-mesh fabrics) ------------------------
+        # The mesh keeps its XY closed forms; other topologies snapshot
+        # the (memoryless, static) routing relation into dense
+        # ``(current, destination)`` tables: the output direction, and
+        # the dateline VC class (-1 = unrestricted, i.e. LOCAL routes).
+        if net.topology.name == "mesh":
+            self._dir_table = None
+            self._cls_table = None
+        else:
+            routing = net.routing
+            dirs = _np.empty((R, R), dtype=_np.int8)
+            for cur in range(R):
+                for dst in range(R):
+                    dirs[cur, dst] = int(routing.output_direction(cur, dst))
+            self._dir_table = dirs
+            if routing.restricts_vcs:
+                cls = _np.full((R, R), -1, dtype=_np.int8)
+                probe = range(2)
+                for cur in range(R):
+                    for dst in range(R):
+                        d = Direction(int(dirs[cur, dst]))
+                        if d is Direction.LOCAL:
+                            continue
+                        allowed = routing.vc_choices(cur, d, dst, probe)
+                        if len(allowed) == 1:
+                            cls[cur, dst] = allowed[0]
+                self._cls_table = cls
+            else:
+                self._cls_table = None
 
         # --- input VC state (flat, one entry per (router, port, vc)) ---
         self.occ = _np.zeros(S, dtype=_np.int64)
@@ -155,7 +203,7 @@ class VectorEngine:
         self.seq = _np.zeros(S, dtype=_np.int64)
         self.next_seq = 0
         self.depth_flat = _np.array(
-            [depths[v] for v in range(V)] * (R * 5), dtype=_np.int64
+            [depths[v] for v in range(V)] * (R * P), dtype=_np.int64
         )
         # Ring buffers: slot contents as (packet entity id, flit index,
         # arrival cycle), head pointer per VC.
@@ -167,22 +215,22 @@ class VectorEngine:
 
         # --- output-side state --------------------------------------
         self.credits_out = _np.array(
-            [depths[v] for v in range(V)] * (R * 5), dtype=_np.int64
+            [depths[v] for v in range(V)] * (R * P), dtype=_np.int64
         )
         self.owner_out = _np.full(S, -1, dtype=_np.int64)
-        self.out_vc_rr = _np.zeros(R * 5, dtype=_np.int64)
-        self.sa_rr_in = _np.zeros(R * 5, dtype=_np.int64)
-        self.sa_rr_out = _np.zeros(R * 5, dtype=_np.int64)
+        self.out_vc_rr = _np.zeros(R * P, dtype=_np.int64)
+        self.sa_rr_in = _np.zeros(R * P, dtype=_np.int64)
+        self.sa_rr_out = _np.zeros(R * P, dtype=_np.int64)
         #: Flit counts per (router, out direction); folded into the
         #: network's ``link_counts`` dicts on read / materialize.
-        self.lc_flat = _np.zeros(R * 5, dtype=_np.int64)
+        self.lc_flat = _np.zeros(R * P, dtype=_np.int64)
 
         # --- per-router state ----------------------------------------
         self.incoming = _np.zeros(R, dtype=_np.int64)
         self.router_occ = _np.zeros(R, dtype=_np.int64)
-        conn = _np.full(R * 5, -1, dtype=_np.int64)
+        conn = _np.full(R * P, -1, dtype=_np.int64)
         for router in net.routers:
-            base = router.router_id * 5
+            base = router.router_id * P
             for d, nb in router.connected.items():
                 if nb is not None:
                     conn[base + int(d)] = nb
@@ -413,8 +461,8 @@ class VectorEngine:
                 self.owner_eid[nh] = he
                 self.out_vc[nh] = -1
                 self.va_el[nh] = cycle + 1
-                self.route[nh] = xy_direction_codes(
-                    nh // self._pv, self.pkt_dest[he], self.width
+                self.route[nh] = self._route_codes(
+                    nh // self._pv, self.pkt_dest[he]
                 )
             # Body flit landing in a drained-but-owned ACTIVE VC: the
             # object kernel only lowers an allocator wake deadline; the
@@ -423,13 +471,21 @@ class VectorEngine:
     def _flush_singles(self, fs, eids, idxs, cycle: int) -> None:
         """Batch a run of NI-injected flits (distinct LOCAL-port VCs)
         into one chunk push (route codes are identical: engagement
-        precludes dead routers, so ``output_direction`` is pure XY)."""
+        precludes dead routers, so ``output_direction`` is the static
+        routing relation — the XY closed form or the snapshot table)."""
         self._push_chunk(
             _np.array(fs, dtype=_np.int64),
             _np.array(eids, dtype=_np.int64),
             _np.array(idxs, dtype=_np.int64),
             cycle,
         )
+
+    def _route_codes(self, nodes, dests):
+        """Direction codes for ``nodes -> dests`` head flits (the XY
+        closed form on the mesh, the snapshot table elsewhere)."""
+        if self._dir_table is None:
+            return xy_direction_codes(nodes, dests, self.width)
+        return self._dir_table[nodes, dests]
 
     def _overflow(self, fs, o, eids, cycle: int) -> None:
         """Raise the reference overflow error for the first offender."""
@@ -438,7 +494,7 @@ class VectorEngine:
             f"VC overflow: {int(self.occ[bad])}/{int(self.depth_flat[bad])} "
             "flits buffered, credit flow control violated",
             cycle=cycle,
-            port=Direction((bad // self.V) % 5),
+            port=Direction((bad // self.V) % self.P),
             vc=bad % self.V,
             packet=self.packets[int(eids[0])].packet_id,
         )
@@ -600,9 +656,11 @@ class VectorEngine:
             return
         if cand.size == 1:
             f = int(cand[0])
-            self._va_grant_one(f, (f // self._pv) * 5 + int(self.route[f]), cycle)
+            self._va_grant_one(
+                f, (f // self._pv) * self.P + int(self.route[f]), cycle
+            )
             return
-        okey = (cand // self._pv) * 5 + self.route[cand]
+        okey = (cand // self._pv) * self.P + self.route[cand]
         # One lexsort = the reference's seq-order scan stably regrouped
         # by output port (okey primary, seq secondary).
         osort = _np.lexsort((self.seq[cand], okey))
@@ -628,10 +686,28 @@ class VectorEngine:
         V = self.V
         vstart = ((fs % V) // per) * per
         rr = self.out_vc_rr[ks]
+        if self._cls_table is None:
+            cstart, clen = vstart, per
+        else:
+            # Dateline VC classes: probe only the class subrange, the
+            # array twin of ``free_vc_in`` over the restricted
+            # ``vc_choices`` range (class 0 = first half of the vnet's
+            # VCs, class 1 = second half, -1 = unrestricted LOCAL).
+            dest = self.pkt_dest[self.owner_eid[fs]]
+            cls = self._cls_table[fs // self._pv, dest]
+            h0 = per // 2
+            cstart = vstart + _np.where(cls == 1, h0, 0)
+            clen = _np.where(
+                cls < 0, per, _np.where(cls == 0, h0, per - h0)
+            )
         chosen = _np.full(fs.size, -1, dtype=_np.int64)
         for i in range(per):
-            vci = vstart + (rr + i) % per
-            pick = (chosen < 0) & (self.owner_out[ks * V + vci] < 0)
+            vci = cstart + (rr + i) % clen
+            pick = (
+                (chosen < 0)
+                & (i < clen)
+                & (self.owner_out[ks * V + vci] < 0)
+            )
             if pick.any():
                 chosen[pick] = vci[pick]
         g = chosen >= 0
@@ -651,8 +727,18 @@ class VectorEngine:
         V = self.V
         vstart = ((f % V) // per) * per
         rr = int(self.out_vc_rr[k])
-        for i in range(per):
-            vci = vstart + (rr + i) % per
+        cstart, clen = vstart, per
+        if self._cls_table is not None:
+            dest = int(self.pkt_dest[self.owner_eid[f]])
+            cls = int(self._cls_table[f // self._pv, dest])
+            if cls >= 0:
+                h0 = per // 2
+                if cls == 0:
+                    clen = h0
+                else:
+                    cstart, clen = vstart + h0, per - h0
+        for i in range(clen):
+            vci = cstart + (rr + i) % clen
             if self.owner_out[k * V + vci] < 0:
                 self.owner_out[k * V + vci] = f
                 self.out_vc_rr[k] = (vci + 1) % V
@@ -679,7 +765,7 @@ class VectorEngine:
         if act.size == 0:
             return
         rt = self.route[act]
-        okey = (act // self._pv) * 5 + rt
+        okey = (act // self._pv) * self.P + rt
         local = rt == 0
         ready = local.copy()
         nonloc = ~local
@@ -705,7 +791,7 @@ class VectorEngine:
             # path would move them.
             f = int(rdy[0])
             self.sa_rr_in[f // self.V] += 1
-            g = (f // self._pv) * 5 + int(self.route[f])
+            g = (f // self._pv) * self.P + int(self.route[f])
             self.sa_rr_out[g] += 1
             self._commit(rdy, _np.array([g], dtype=_np.int64), cycle)
             return
@@ -729,11 +815,11 @@ class VectorEngine:
         pf = seq[rs[pstart]]
         if up.size == 1:
             # One nominating port → one output group, granted outright.
-            g = (int(nom[0]) // self._pv) * 5 + int(self.route[nom[0]])
+            g = (int(nom[0]) // self._pv) * self.P + int(self.route[nom[0]])
             self.sa_rr_out[g] += 1
             self._commit(nom, _np.array([g], dtype=_np.int64), cycle)
             return
-        gkey = (nom // self._pv) * 5 + self.route[nom]
+        gkey = (nom // self._pv) * self.P + self.route[nom]
         gsort = _np.lexsort((pf, gkey))
         nm = nom[gsort]
         pfs = pf[gsort]
@@ -747,7 +833,7 @@ class VectorEngine:
         # Departure emission order: the object kernel visits routers in
         # ascending id and, within one router, output groups in
         # first-contender order.
-        emit = _np.lexsort((pfs[gstart], ug // 5))
+        emit = _np.lexsort((pfs[gstart], ug // self.P))
         self._commit(winners[emit], ug[emit], cycle)
 
     def _note_blocked(self, fs, nbs) -> None:
@@ -773,7 +859,7 @@ class VectorEngine:
         self.buffered_total -= W.size
         rw = W // self._pv
         _np.add.at(self.router_occ, rw, -1)
-        odir = gk % 5
+        odir = gk % self.P
         ovc = self.out_vc[W]
         o = gk * V + ovc
         stats = self.net.stats
@@ -781,13 +867,13 @@ class VectorEngine:
         self.lc_flat[gk] += 1
         # Credit return toward the sender (upstream router output port,
         # or the local NI for LOCAL-port departures).
-        in_dir = (W // V) % 5
+        in_dir = (W // V) % self.P
         in_vc = W % V
-        upstream = self.connected_flat[rw * 5 + in_dir]
+        upstream = self.connected_flat[rw * self.P + in_dir]
         enc = _np.where(
             in_dir == 0,
             -(rw * V + in_vc) - 1,
-            (upstream * 5 + self.OPP[in_dir]) * V + in_vc,
+            (upstream * self.P + self.OPP[in_dir]) * V + in_vc,
         )
         self._credit_ev.setdefault(cycle + 2, []).append(enc)
         nonloc = odir != 0
@@ -799,7 +885,7 @@ class VectorEngine:
                 self.pkt_hops[hn] += 1
             nb = self.connected_flat[gk[nonloc]]
             _np.add.at(self.incoming, nb, 1)
-            fo = (nb * 5 + self.OPP[odir[nonloc]]) * V + ovc[nonloc]
+            fo = (nb * self.P + self.OPP[odir[nonloc]]) * V + ovc[nonloc]
             self._flit_ev.setdefault(cycle + 3, []).append(
                 (fo, eids[nonloc], idxs[nonloc])
             )
@@ -829,7 +915,7 @@ class VectorEngine:
                 "VC activation without a head flit at the buffer front",
                 cycle=cycle,
                 router=f // self._pv,
-                port=Direction((f // self.V) % 5),
+                port=Direction((f // self.V) % self.P),
                 vc=f % self.V,
             )
         self.state[f] = 1
@@ -934,8 +1020,9 @@ class VectorEngine:
         if not lc.any():
             return
         counts = self.net._link_counts
+        P = self.P
         for k in _np.nonzero(lc)[0].tolist():
-            counts[k // 5][Direction(k % 5)] += int(lc[k])
+            counts[k // P][Direction(k % P)] += int(lc[k])
         lc[:] = 0
 
     # ==================================================================
@@ -953,6 +1040,7 @@ class VectorEngine:
         routers = net.routers
         packets = self.packets
         V = self.V
+        P = self.P
         pv = self._pv
         # Buffered flits, in global seq order so each router's
         # ``_occupied`` dict regains the reference insertion order.
@@ -960,7 +1048,7 @@ class VectorEngine:
         occ_f = occ_f[_np.argsort(self.seq[occ_f], kind="stable")]
         for f in occ_f.tolist():
             router = routers[f // pv]
-            vc = router.input_ports[Direction((f // V) % 5)].vcs[f % V]
+            vc = router.input_ports[Direction((f // V) % P)].vcs[f % V]
             hh = int(self.h[f])
             for j in range(int(self.occ[f])):
                 slot = (hh + j) % self.D
@@ -973,7 +1061,7 @@ class VectorEngine:
         # which hold no flits and live outside ``_occupied``.
         for f in _np.where(self.state != 0)[0].tolist():
             router = routers[f // pv]
-            vc = router.input_ports[Direction((f // V) % 5)].vcs[f % V]
+            vc = router.input_ports[Direction((f // V) % P)].vcs[f % V]
             vc.state = VC_STATE_FROM_CODE[int(self.state[f])]
             rt = int(self.route[f])
             vc.route = Direction(rt) if rt >= 0 else None
@@ -985,8 +1073,8 @@ class VectorEngine:
             vc.sa_eligible_at = int(self.sa_el[f])
         for r in range(self.R):
             router = routers[r]
-            base = r * 5
-            for p in range(5):
+            base = r * P
+            for p in range(P):
                 d = Direction(p)
                 k = base + p
                 out_port = router.output_ports[d]
@@ -994,7 +1082,7 @@ class VectorEngine:
                     out_port.credits[v] = int(self.credits_out[k * V + v])
                     ow = int(self.owner_out[k * V + v])
                     out_port.owner[v] = (
-                        None if ow < 0 else (Direction((ow // V) % 5), ow % V)
+                        None if ow < 0 else (Direction((ow // V) % P), ow % V)
                     )
                 out_port.vc_rr_pointer = int(self.out_vc_rr[k])
                 router.input_ports[d].sa_rr_pointer = int(self.sa_rr_in[k])
@@ -1021,7 +1109,7 @@ class VectorEngine:
                         out.append(
                             (
                                 ff // pv,
-                                Direction((ff // V) % 5),
+                                Direction((ff // V) % P),
                                 ff % V,
                                 Flit(packets[ee], ii),
                             )
@@ -1030,7 +1118,7 @@ class VectorEngine:
                     out.append(
                         (
                             f // pv,
-                            Direction((f // V) % 5),
+                            Direction((f // V) % P),
                             f % V,
                             Flit(packets[eid], idx),
                         )
@@ -1041,7 +1129,7 @@ class VectorEngine:
                 for e in enc.tolist():
                     if e >= 0:
                         out.append(
-                            (e // (5 * V), Direction((e // V) % 5), e % V)
+                            (e // pv, Direction((e // V) % P), e % V)
                         )
                     else:
                         v2 = -e - 1

@@ -1,10 +1,14 @@
 """Terminal visualization helpers.
 
-Text renderings of per-router and per-link quantities on the mesh —
+Text renderings of per-router and per-link quantities on the fabric —
 handy for eyeballing where power-gating actually happens (gated-off
 fraction per router), where traffic concentrates (link utilization) and
 where packets get blocked.  Everything returns plain strings so it
 composes with the experiment harnesses and tests.
+
+Heatmaps lay nodes out on the topology's ``(width, height)`` coordinate
+grid (meshes and tori render as the familiar WxH block; a ring renders
+as one row), so they work for every registered topology.
 """
 
 from __future__ import annotations
@@ -13,7 +17,7 @@ from typing import Callable, Dict, Sequence
 
 from .core.schemes import PowerGatedScheme
 from .noc.network import Network
-from .noc.topology import MeshTopology
+from .noc.topology import Topology
 
 #: Shade ramp from empty to full.
 _RAMP = " .:-=+*#%@"
@@ -25,27 +29,32 @@ def shade(value: float) -> str:
     return _RAMP[min(len(_RAMP) - 1, int(value * len(_RAMP)))]
 
 
-def mesh_heatmap(
-    topology: MeshTopology,
+def node_heatmap(
+    topology: Topology,
     values: Sequence[float],
     title: str = "",
     fmt: Callable[[float], str] = lambda v: f"{v:4.2f}",
 ) -> str:
-    """Render per-node values as a WxH grid with shades and numbers."""
+    """Render per-node values on the topology's coordinate grid."""
     if len(values) != topology.num_nodes:
         raise ValueError("need one value per node")
+    width, height = topology.shape
     peak = max(values) or 1.0
     lines = [title] if title else []
-    for y in range(topology.height):
+    for y in range(height):
         shades = []
         numbers = []
-        for x in range(topology.width):
+        for x in range(width):
             v = values[topology.node_at(x, y)]
             shades.append(shade(v / peak) * 4)
             numbers.append(fmt(v))
         lines.append(" ".join(shades))
         lines.append(" ".join(n.rjust(4) for n in numbers))
     return "\n".join(lines)
+
+
+#: Back-compat name from when the mesh was the only fabric.
+mesh_heatmap = node_heatmap
 
 
 def gated_fraction_map(network: Network, title: str = "Gated-off fraction") -> str:
@@ -58,7 +67,7 @@ def gated_fraction_map(network: Network, title: str = "Gated-off fraction") -> s
         for ctl in policy.controllers:
             total = ctl.active_cycles + ctl.off_cycles + ctl.waking_cycles
             values.append(ctl.off_cycles / total if total else 0.0)
-    return mesh_heatmap(network.topology, values, title=title)
+    return node_heatmap(network.topology, values, title=title)
 
 
 def wake_events_map(network: Network, title: str = "Wake events") -> str:
@@ -68,7 +77,7 @@ def wake_events_map(network: Network, title: str = "Wake events") -> str:
         values = [0.0] * network.config.num_nodes
     else:
         values = [float(ctl.wake_events) for ctl in policy.controllers]
-    return mesh_heatmap(
+    return node_heatmap(
         network.topology, values, title=title, fmt=lambda v: f"{int(v):4d}"
     )
 
@@ -79,7 +88,7 @@ def link_load_map(network: Network, title: str = "Router forwarding load") -> st
     values = [
         sum(counts.values()) / cycles for counts in network.link_counts
     ]
-    return mesh_heatmap(network.topology, values, title=title)
+    return node_heatmap(network.topology, values, title=title)
 
 
 def latency_histogram(
