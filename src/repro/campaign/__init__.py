@@ -13,11 +13,14 @@ log.  See ``docs/campaigns.md`` and ``docs/resilience.md``.
 from .cache import CellCache, code_salt, decode_payload, encode_payload
 from .cli import (
     add_campaign_args,
+    add_guarantees_args,
     add_robustness_args,
+    apply_guarantees_args,
     apply_robustness_args,
     campaign_argparser,
     engine_options,
     require_mesh_topology,
+    sprt_options,
 )
 from .engine import Campaign, CampaignError, CampaignStats, execute_cells
 from .runner import build_scheme, run_cell, run_parsec, run_synthetic
@@ -48,7 +51,9 @@ __all__ = [
     "RetryPolicy",
     "WorkerCrashError",
     "add_campaign_args",
+    "add_guarantees_args",
     "add_robustness_args",
+    "apply_guarantees_args",
     "apply_robustness_args",
     "build_scheme",
     "campaign_argparser",
@@ -64,4 +69,5 @@ __all__ = [
     "run_cell",
     "run_parsec",
     "run_synthetic",
+    "sprt_options",
 ]

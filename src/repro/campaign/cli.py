@@ -129,15 +129,120 @@ def apply_robustness_args(args: argparse.Namespace) -> bool:
     threshold = getattr(args, "dead_router_threshold", None)
     if degradation is None and threshold is None:
         return False
-    spec, strict, watchdog, ambient_degradation, ambient_threshold = ambient_config()
+    (
+        spec,
+        strict,
+        watchdog,
+        ambient_degradation,
+        ambient_threshold,
+        bounds,
+    ) = ambient_config()
     set_ambient(
         spec,
         strict,
         watchdog,
         degradation if degradation is not None else ambient_degradation,
         threshold if threshold is not None else ambient_threshold,
+        bounds,
     )
     return True
+
+
+def add_guarantees_args(
+    parser: argparse.ArgumentParser,
+    *,
+    bounds: bool = True,
+    sprt: bool = True,
+) -> argparse.ArgumentParser:
+    """Attach the guarantees-layer flags to a parser.
+
+    Mirrors :func:`add_robustness_args`: ``--bounds`` merges into the
+    process-wide ambient config via :func:`apply_guarantees_args` (so
+    every network built in-process gets a strict
+    :class:`repro.guarantees.BoundChecker`), while the ``--sprt``
+    family parameterizes sequential statistical model checking and is
+    read back with :func:`sprt_options`.  Experiments that sample
+    faulted networks pass ``bounds=False`` — bounds certify fault-free
+    runs only.
+    """
+    group = parser.add_argument_group("guarantees")
+    if bounds:
+        group.add_argument(
+            "--bounds",
+            action="store_true",
+            help="enforce certified worst-case latency bounds on every "
+            "network built by this process (strict: the first "
+            "violating packet raises; see docs/guarantees.md)",
+        )
+    if sprt:
+        group.add_argument(
+            "--sprt",
+            action="store_true",
+            help="sequential probability ratio test mode: stop sampling "
+            "as soon as the delivery-probability hypothesis is "
+            "accepted or rejected instead of burning the full "
+            "--samples budget",
+        )
+        group.add_argument(
+            "--sprt-p0",
+            type=float,
+            default=0.9,
+            help="null hypothesis: P(clean trial) >= p0 (accept)",
+        )
+        group.add_argument(
+            "--sprt-p1",
+            type=float,
+            default=0.6,
+            help="alternative hypothesis: P(clean trial) <= p1 (reject); "
+            "must be < p0",
+        )
+        group.add_argument(
+            "--sprt-alpha",
+            type=float,
+            default=0.05,
+            help="bound on the false-rejection probability",
+        )
+        group.add_argument(
+            "--sprt-beta",
+            type=float,
+            default=0.05,
+            help="bound on the false-acceptance probability",
+        )
+        group.add_argument(
+            "--sprt-batch",
+            type=int,
+            default=8,
+            help="trials declared per sequential round (larger batches "
+            "parallelize better, smaller ones stop earlier)",
+        )
+    return parser
+
+
+def apply_guarantees_args(args: argparse.Namespace) -> bool:
+    """Merge a parsed ``--bounds`` flag into the ambient configuration.
+
+    Returns True when staged (the caller owns the matching
+    ``clear_ambient``); existing ambient state is preserved, exactly
+    like :func:`apply_robustness_args`.
+    """
+    from ..noc.faults import ambient_config, set_ambient
+
+    if not getattr(args, "bounds", False):
+        return False
+    spec, strict, watchdog, degradation, threshold, _bounds = ambient_config()
+    set_ambient(spec, strict, watchdog, degradation, threshold, True)
+    return True
+
+
+def sprt_options(args: argparse.Namespace) -> dict:
+    """Extract the SPRT parameters from a parsed namespace."""
+    return {
+        "p0": args.sprt_p0,
+        "p1": args.sprt_p1,
+        "alpha": args.sprt_alpha,
+        "beta": args.sprt_beta,
+        "batch": args.sprt_batch,
+    }
 
 
 def require_mesh_topology(args: argparse.Namespace, what: str) -> None:

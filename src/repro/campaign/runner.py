@@ -303,6 +303,44 @@ def _run_reliability_cell(spec: CellSpec) -> dict:
     }
 
 
+def _run_guarantees_cell(spec: CellSpec) -> dict:
+    """One latency-bound validation run (see spec module docstring).
+
+    Fault-free by construction — the bound checker refuses faulted
+    networks — and kernel-agnostic: the checker rides the delivery
+    stream, so ``kernel="vector"`` cells stay engaged.  Warmup
+    deliveries are checked too (a certified bound holds for every
+    packet, not just measured ones); the latency quantiles cover the
+    measurement window, matching every other stats figure.
+    """
+    from ..guarantees import BoundChecker
+
+    params = dict(spec.extras)
+    config = spec.build_config()
+    scheme = build_scheme(spec) if spec.scheme != "-" else None
+    network = Network(config, scheme)
+    checker = BoundChecker(strict=bool(params.get("strict", False)))
+    network.install_bounds(checker)
+    traffic = SyntheticTraffic(
+        network, spec.workload, spec.injection_rate, seed=spec.seed
+    )
+    traffic.run(spec.warmup)
+    network.stats.measure_from = network.cycle
+    traffic.run(spec.measurement)
+    if spec.drain:
+        traffic.drain()
+    stats = network.stats
+    return {
+        **checker.report(),
+        "delivered": stats.delivered,
+        "avg_latency": stats.avg_packet_latency,
+        "p50": stats.p50_latency,
+        "p95": stats.p95_latency,
+        "p99": stats.p99_latency,
+        "cycles": network.cycle,
+    }
+
+
 _RUNNERS = {
     "parsec": _run_parsec_cell,
     "synthetic": _run_synthetic_cell,
@@ -311,6 +349,7 @@ _RUNNERS = {
     "analysis": _run_analysis_cell,
     "bench": _run_bench_cell,
     "reliability": _run_reliability_cell,
+    "guarantees": _run_guarantees_cell,
 }
 
 

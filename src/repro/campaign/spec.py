@@ -34,6 +34,13 @@ Cell kinds and their payloads:
     with strict invariants and the deadlock watchdog armed → outcome
     dict (delivered/dropped/refused counts, ``deadlocked`` flag, the
     sampled fault spec string, retry/reroute counters).
+``guarantees``
+    One bound-validation run: a fault-free synthetic run with a
+    :class:`repro.guarantees.BoundChecker` on the delivery stream →
+    tightness dict (checked/violation counts, worst observed/bound
+    ratio with decomposition, reservoir latency quantiles, the bound
+    model's parameters).  ``extras: strict`` selects raise-on-first
+    enforcement instead of violation accounting.
 """
 
 from __future__ import annotations
@@ -60,6 +67,7 @@ CELL_KINDS = (
     "analysis",
     "bench",
     "reliability",
+    "guarantees",
 )
 
 
@@ -243,6 +251,44 @@ class CellSpec:
                     "watchdog": watchdog,
                 }
             ),
+        )
+
+    @classmethod
+    def guarantees(
+        cls,
+        pattern: str,
+        injection_rate: float,
+        scheme: str,
+        *,
+        warmup: int = 500,
+        measurement: int = 2000,
+        seed: int = 7,
+        drain: bool = True,
+        config: Optional[NoCConfig] = None,
+        scheme_kwargs: ItemsLike = None,
+        strict: bool = False,
+    ) -> "CellSpec":
+        """One latency-bound validation run.
+
+        A fault-free synthetic run whose delivery stream is checked
+        against the analytical per-route bounds.  ``strict=True``
+        raises on the first violating packet (the enforcement
+        acceptance scenario); the default records violations into the
+        payload so tightness campaigns report them as data.
+        ``scheme="-"`` runs the always-on baseline.
+        """
+        return cls(
+            kind="guarantees",
+            workload=pattern,
+            scheme=scheme,
+            scheme_kwargs=freeze_items(scheme_kwargs),
+            config=_config_items(config),
+            seed=seed,
+            injection_rate=injection_rate,
+            warmup=warmup,
+            measurement=measurement,
+            drain=drain,
+            extras=freeze_items({"strict": strict}),
         )
 
     # ------------------------------------------------------------------

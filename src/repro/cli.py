@@ -48,6 +48,20 @@ of continuously stalled cycles before a router is declared dead.
 Monte-Carlo reliability campaigns (``docs/resilience.md``)::
 
     python -m repro.cli reliability --samples 200 --workers 4
+    python -m repro.cli reliability --sprt --samples 200   # sequential
+
+Guarantees mode (``docs/guarantees.md``)::
+
+    python -m repro.cli guarantees --certify-only
+    python -m repro.cli guarantees --loads 0.02 0.2 --out bounds.json
+    python -m repro.cli --bounds fig12
+
+``--bounds`` (before the command, like the robustness flags) installs
+a strict latency-bound checker on every network the experiment builds:
+the first delivered packet to exceed its certified worst-case bound
+raises a structured ``BoundViolationError``.  Bounds certify the
+fault-free pipeline, so ``--bounds`` and ``--faults`` are mutually
+exclusive.
 """
 
 from __future__ import annotations
@@ -66,6 +80,7 @@ from .experiments import (
     fig11,
     fig12,
     fig13,
+    guarantees,
     parsec_suite,
     reliability,
     scalability,
@@ -84,6 +99,7 @@ _COMMANDS = {
     "scalability": scalability.main,
     "ablations": ablations.main,
     "baselines": baselines_compare.main,
+    "guarantees": guarantees.main,
     "headline": headline.main,
     "reliability": reliability.main,
     "topologies": topologies.main,
@@ -146,14 +162,15 @@ def _split_robustness_flags(
 ) -> Tuple[List[str], Optional[str], bool, Optional[int], Optional[str], Optional[int]]:
     """Extract the global robustness flags (``--faults``,
     ``--strict-invariants``, ``--watchdog``, ``--degradation`` /
-    ``--reroute``, ``--dead-router-threshold``; valid anywhere before
-    the command) from ``argv``."""
+    ``--reroute``, ``--dead-router-threshold``, ``--bounds``; valid
+    anywhere before the command) from ``argv``."""
     rest: List[str] = []
     fault_spec: Optional[str] = None
     strict = False
     watchdog: Optional[int] = None
     degradation: Optional[str] = None
     dead_threshold: Optional[int] = None
+    bounds = False
 
     def parse_int(flag: str, value: str) -> int:
         try:
@@ -169,6 +186,8 @@ def _split_robustness_flags(
             rest.append(arg)
         elif arg == "--strict-invariants":
             strict = True
+        elif arg == "--bounds":
+            bounds = True
         elif arg == "--reroute":
             degradation = "reroute"
         elif arg in valued or (
@@ -196,13 +215,13 @@ def _split_robustness_flags(
         else:
             rest.append(arg)
         i += 1
-    return rest, fault_spec, strict, watchdog, degradation, dead_threshold
+    return rest, fault_spec, strict, watchdog, degradation, dead_threshold, bounds
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """Dispatch a CLI command (see module docstring for the list)."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    argv, fault_spec, strict, watchdog, degradation, dead_threshold = (
+    argv, fault_spec, strict, watchdog, degradation, dead_threshold, bounds = (
         _split_robustness_flags(argv)
     )
     if not argv or argv[0] in ("-h", "--help"):
@@ -215,9 +234,12 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         or strict
         or degradation is not None
         or dead_threshold is not None
+        or bounds
     )
     if robustness:
-        set_ambient(fault_spec, strict, watchdog, degradation, dead_threshold)
+        set_ambient(
+            fault_spec, strict, watchdog, degradation, dead_threshold, bounds
+        )
         notice = []
         if fault_spec is not None:
             notice.append(f"fault schedule {fault_spec!r}")
@@ -227,6 +249,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             notice.append(f"degradation={degradation}")
         if dead_threshold is not None:
             notice.append(f"dead-router threshold {dead_threshold}")
+        if bounds:
+            notice.append("certified latency bounds (strict)")
         print(f"[robustness] {', '.join(notice)} enabled for all networks")
     try:
         if command == "all":

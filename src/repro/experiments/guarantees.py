@@ -1,0 +1,404 @@
+"""Guarantees mode: certified latency bounds + sequential model checking.
+
+Two complementary guarantees for the power-gated NoC:
+
+1. **The non-blocking certificate** — the analytical identity at the
+   heart of the paper's claim: PowerPunch's certified worst-case
+   per-route latency bound equals the always-on (No-PG) bound for
+   *every* route, because the punch hides the whole wakeup latency
+   (``wakeup_latency <= punch_hops * router_stages``).  ConvOpt-PG, by
+   contrast, pays the full wakeup per gated hop — its bound is
+   strictly larger on every route.  :func:`certificate_report` proves
+   (or refutes) both route by route via
+   :func:`repro.guarantees.certify_non_blocking`.
+
+2. **Bound-tightness validation** — a campaign of fault-free
+   ``guarantees`` cells (see :mod:`repro.campaign.spec`) that replays
+   synthetic traffic with a :class:`repro.guarantees.BoundChecker` on
+   the delivery stream and reports, per scheme x load, how close the
+   observed worst case comes to the certified bound (and any
+   violations, which are *data* in the default non-strict mode).
+
+The module also hosts the **SPRT driver** used by
+``repro.experiments.reliability --sprt``: sequential statistical model
+checking of the clean-trial probability, stopping as soon as Wald's
+test decides instead of burning the full fixed-sample budget.
+
+Usage::
+
+    python -m repro.cli guarantees --loads 0.02 0.2 --out bounds.json
+    python -m repro.cli guarantees --certify-only
+    python -m repro.cli reliability --sprt --samples 200
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..campaign import (
+    Campaign,
+    CellSpec,
+    campaign_argparser,
+    engine_options,
+)
+from ..core import ConvOptPG, PowerPunchPG
+from ..guarantees import SPRT, certify_non_blocking
+from ..noc import NoCConfig
+from ..stats_util import wilson_interval
+from .common import format_table
+from .reliability import reliability_campaign
+
+_DEFAULT_LOADS = (0.02, 0.10, 0.20)
+
+#: ``-`` is the always-on reference (no policy attached at all); the
+#: two gated schemes bracket the certificate.
+_DEFAULT_SCHEMES = ("-", "ConvOpt-PG", "PowerPunch-PG")
+
+
+def _build_config(mesh: int, topology: str) -> NoCConfig:
+    """The campaign fabric: ``mesh`` x ``mesh``, or the equal-node ring
+    (same convention as the topologies experiment)."""
+    if topology == "ring":
+        return NoCConfig(width=mesh * mesh, height=1, topology="ring")
+    return NoCConfig(width=mesh, height=mesh, topology=topology)
+
+
+# ----------------------------------------------------------------------
+# The non-blocking certificate
+# ----------------------------------------------------------------------
+def certificate_report(config: Optional[NoCConfig] = None) -> Dict[str, dict]:
+    """Route-by-route certificates for both gated schemes vs No-PG."""
+    if config is None:
+        config = NoCConfig()
+    return {
+        "PowerPunch-PG": certify_non_blocking(config, PowerPunchPG()),
+        "ConvOpt-PG": certify_non_blocking(config, ConvOptPG()),
+    }
+
+
+def render_certificates(certificates: Dict[str, dict]) -> str:
+    """Human-readable certificate table."""
+    rows = []
+    for name, cert in certificates.items():
+        rows.append(
+            [
+                name,
+                f"{cert['equal_routes']}/{cert['routes']}",
+                "YES" if cert["non_blocking"] else "no",
+                cert["max_gap_cycles"],
+                cert["wakeup_penalty_per_hop"],
+            ]
+        )
+    table = format_table(
+        ["scheme", "routes == No-PG", "non-blocking", "max gap (cyc)", "penalty/hop"],
+        rows,
+        title="Non-blocking certificate (analytical, every route)",
+    )
+    return table
+
+
+# ----------------------------------------------------------------------
+# Bound-tightness campaign
+# ----------------------------------------------------------------------
+def guarantees_campaign(
+    *,
+    loads: Sequence[float] = _DEFAULT_LOADS,
+    schemes: Sequence[str] = _DEFAULT_SCHEMES,
+    pattern: str = "uniform_random",
+    mesh: int = 8,
+    topology: str = "mesh",
+    warmup: int = 500,
+    measurement: int = 2000,
+    seed: int = 7,
+    strict: bool = False,
+) -> Tuple[Campaign, List[Tuple[str, float]]]:
+    """Declare one bound-validation cell per (scheme, load).
+
+    Returns the campaign plus the ``(scheme, load)`` key for each cell
+    in declaration order, so outcomes can be re-keyed without parsing
+    labels.
+    """
+    config = _build_config(mesh, topology)
+    cells = []
+    keys: List[Tuple[str, float]] = []
+    for scheme in schemes:
+        for load in loads:
+            cells.append(
+                CellSpec.guarantees(
+                    pattern,
+                    load,
+                    scheme,
+                    warmup=warmup,
+                    measurement=measurement,
+                    seed=seed,
+                    config=config,
+                    strict=strict,
+                )
+            )
+            keys.append((scheme, load))
+    name = f"guarantees-{pattern}-{topology}{mesh}"
+    return Campaign(name=name, cells=tuple(cells)), keys
+
+
+def aggregate(keys: Sequence[Tuple[str, float]], outcomes: Sequence[dict]) -> dict:
+    """Fold per-cell payloads into the JSON-ready tightness summary."""
+    cells = []
+    total_checked = total_violations = 0
+    for (scheme, load), payload in zip(keys, outcomes):
+        violations = payload["violations"]
+        total_checked += payload["checked"]
+        total_violations += violations
+        cells.append(
+            {
+                "scheme": scheme,
+                "load": load,
+                "checked": payload["checked"],
+                "violations": violations,
+                "violation_details": payload["violation_summaries"],
+                "worst_ratio": payload["worst_ratio"],
+                "worst": payload["worst"],
+                "delivered": payload["delivered"],
+                "avg_latency": payload["avg_latency"],
+                "p50": payload["p50"],
+                "p95": payload["p95"],
+                "p99": payload["p99"],
+                "model": payload["model"],
+            }
+        )
+    return {
+        "cells": cells,
+        "checked_packets": total_checked,
+        "violations": total_violations,
+        "all_within_bounds": total_violations == 0,
+    }
+
+
+def report(summary: dict) -> str:
+    """Human-readable tightness table."""
+    rows = []
+    for cell in summary["cells"]:
+        worst = cell["worst"]
+        worst_txt = (
+            f"{worst['observed']}/{worst['bound']}" if worst else "-"
+        )
+        rows.append(
+            [
+                "always-on" if cell["scheme"] == "-" else cell["scheme"],
+                f"{cell['load']:g}",
+                cell["checked"],
+                cell["violations"],
+                f"{cell['worst_ratio']:.3f}",
+                worst_txt,
+                _fmt(cell["p50"]),
+                _fmt(cell["p99"]),
+            ]
+        )
+    table = format_table(
+        [
+            "scheme",
+            "load",
+            "checked",
+            "violations",
+            "worst/bound",
+            "worst (obs/cert)",
+            "p50",
+            "p99",
+        ],
+        rows,
+        title="Latency-bound tightness (observed vs certified)",
+    )
+    verdict = (
+        "all delivered packets within certified bounds"
+        if summary["all_within_bounds"]
+        else f"{summary['violations']} bound violation(s) recorded"
+    )
+    return f"{table}\n{verdict} over {summary['checked_packets']} checked packets"
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "-" if value is None else f"{value:g}"
+
+
+def run_guarantees(
+    verbose: bool = True, engine: Optional[dict] = None, **kwargs
+) -> dict:
+    """Run the tightness campaign and return the aggregated summary."""
+    campaign, keys = guarantees_campaign(**kwargs)
+    outcomes = campaign.run(**(engine or {}))
+    summary = aggregate(keys, outcomes)
+    if verbose:
+        print(report(summary))
+    return summary
+
+
+# ----------------------------------------------------------------------
+# Sequential statistical model checking (the reliability --sprt mode)
+# ----------------------------------------------------------------------
+def run_sprt_reliability(
+    *,
+    base_seed: int = 1,
+    max_samples: int = 100,
+    p0: float = 0.9,
+    p1: float = 0.6,
+    alpha: float = 0.05,
+    beta: float = 0.05,
+    batch: int = 8,
+    engine: Optional[dict] = None,
+    **trial_kwargs,
+) -> dict:
+    """Sequentially test ``P(clean trial) >= p0`` vs ``<= p1``.
+
+    Trials are the same seeded reliability cells the fixed-sample
+    campaign runs (trial ``i`` uses ``base_seed + i``), declared
+    ``batch`` at a time so a process pool still fans out, and fed to
+    the :class:`SPRT` **in seed order** — the estimate is a pure
+    function of the seeds regardless of worker scheduling, and a
+    shared ``--cache-dir`` is hit cell-for-cell by the fixed-sample
+    campaign over the same seed range.  Stops at the first decided
+    batch or when the ``max_samples`` budget is exhausted
+    (``verdict: undecided``).
+    """
+    if batch < 1:
+        raise ValueError("batch must be positive")
+    sprt = SPRT(p0, p1, alpha=alpha, beta=beta)
+    used: List[dict] = []
+    declared = 0
+    while declared < max_samples and sprt.verdict is None:
+        n = min(batch, max_samples - declared)
+        campaign = reliability_campaign(
+            n, base_seed=base_seed + declared, **trial_kwargs
+        )
+        outcomes = campaign.run(**(engine or {}))
+        declared += n
+        for outcome in outcomes:
+            if sprt.verdict is not None:
+                break
+            sprt.update(bool(outcome["delivered_all"]))
+            used.append(outcome)
+    ci = (
+        wilson_interval(sprt.successes, sprt.observations)
+        if sprt.observations
+        else (0.0, 1.0)
+    )
+    return {
+        "mode": "sprt",
+        "verdict": sprt.verdict or "undecided",
+        "sprt": sprt.to_dict(),
+        "samples_used": sprt.observations,
+        "samples_declared": declared,
+        "samples_budget": max_samples,
+        "base_seed": base_seed,
+        "batch": batch,
+        "clean_trials": sprt.successes,
+        "clean_trial_ci95": list(ci),
+        "trial_outcomes": used,
+    }
+
+
+def report_sprt(estimate: dict) -> str:
+    """Human-readable summary of one sequential run."""
+    sprt = estimate["sprt"]
+    rows = [
+        ["verdict", estimate["verdict"]],
+        [
+            "hypothesis",
+            f"accept: P(clean) >= {sprt['p0']:g}   "
+            f"reject: P(clean) <= {sprt['p1']:g}",
+        ],
+        [
+            "samples used",
+            f"{estimate['samples_used']} of {estimate['samples_budget']} budget",
+        ],
+        [
+            "clean trials",
+            f"{estimate['clean_trials']}/{estimate['samples_used']}",
+        ],
+        [
+            "95% CI (Wilson)",
+            f"[{estimate['clean_trial_ci95'][0]:.4f}, "
+            f"{estimate['clean_trial_ci95'][1]:.4f}]",
+        ],
+        [
+            "log-likelihood ratio",
+            f"{sprt['llr']:.4f} in "
+            f"({sprt['lower_threshold']:.4f}, {sprt['upper_threshold']:.4f})",
+        ],
+    ]
+    return format_table(
+        ["", ""],
+        rows,
+        title="Sequential probability ratio test (clean-trial probability)",
+    )
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point."""
+    # No --bounds here: every guarantees cell installs its own checker,
+    # so the ambient flag would only double-check the same stream.
+    parser = campaign_argparser(__doc__)
+    parser.add_argument(
+        "--loads",
+        type=float,
+        nargs="+",
+        default=list(_DEFAULT_LOADS),
+        help="injection rates to validate (flits/node/cycle)",
+    )
+    parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=list(_DEFAULT_SCHEMES),
+        help="schemes to validate ('-' = always-on reference)",
+    )
+    parser.add_argument("--pattern", default="uniform_random")
+    parser.add_argument("--mesh", type=int, default=8, help="mesh side (NxN)")
+    parser.add_argument("--warmup", type=int, default=500)
+    parser.add_argument("--measurement", type=int, default=2000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on the first violating packet instead of recording "
+        "violations as campaign data",
+    )
+    parser.add_argument(
+        "--certify-only",
+        action="store_true",
+        help="print the analytical non-blocking certificate and exit "
+        "without simulating",
+    )
+    parser.add_argument("--out", default=None, help="write results as JSON")
+    args = parser.parse_args(argv)
+
+    config = _build_config(args.mesh, args.topology)
+    certificates = certificate_report(config)
+    print(render_certificates(certificates))
+    results: Dict[str, object] = {"certificates": certificates}
+    if not args.certify_only:
+        summary = run_guarantees(
+            verbose=False,
+            engine=engine_options(args),
+            loads=args.loads,
+            schemes=args.schemes,
+            pattern=args.pattern,
+            mesh=args.mesh,
+            topology=args.topology,
+            warmup=args.warmup,
+            measurement=args.measurement,
+            seed=args.seed,
+            strict=args.strict,
+        )
+        print(report(summary))
+        results["tightness"] = summary
+    if args.out:
+        with open(args.out, "w") as fh:
+            json.dump(results, fh, sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"saved results to {args.out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -32,41 +32,24 @@ Usage::
 from __future__ import annotations
 
 import json
-import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from ..campaign import (
     Campaign,
     CellSpec,
+    add_guarantees_args,
     add_robustness_args,
     campaign_argparser,
     engine_options,
     require_mesh_topology,
+    sprt_options,
 )
 from ..noc import NoCConfig
+
+# Hoisted to the shared stats layer (the SPRT model checker uses the
+# same implementation); re-exported here for compatibility.
+from ..stats_util import wilson_interval  # noqa: F401
 from .common import format_table
-
-
-def wilson_interval(
-    successes: int, trials: int, z: float = 1.96
-) -> Tuple[float, float]:
-    """Wilson score interval for a binomial proportion.
-
-    Unlike the normal approximation it stays inside [0, 1] and behaves
-    at p near 0/1 — exactly where reliability estimates live.
-    """
-    if trials <= 0:
-        return (0.0, 1.0)
-    if successes < 0 or successes > trials:
-        raise ValueError(f"successes={successes} outside [0, {trials}]")
-    p = successes / trials
-    z2 = z * z
-    denom = 1.0 + z2 / trials
-    center = (p + z2 / (2.0 * trials)) / denom
-    half = (z / denom) * math.sqrt(
-        p * (1.0 - p) / trials + z2 / (4.0 * trials * trials)
-    )
-    return (max(0.0, center - half), min(1.0, center + half))
 
 
 def reliability_campaign(
@@ -231,6 +214,9 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point."""
     parser = campaign_argparser(__doc__)
     add_robustness_args(parser)
+    # --bounds is deliberately absent: reliability trials inject
+    # faults, and latency bounds certify fault-free runs only.
+    add_guarantees_args(parser, bounds=False)
     parser.add_argument("--samples", type=int, default=100)
     parser.add_argument("--pattern", default="uniform_random")
     parser.add_argument("--rate", type=float, default=0.02)
@@ -249,8 +235,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     threshold = (
         args.dead_router_threshold if args.dead_router_threshold is not None else 200
     )
-    estimate = run_reliability(
-        args.samples,
+    trial_kwargs = dict(
         pattern=args.pattern,
         injection_rate=args.rate,
         scheme=args.scheme,
@@ -263,7 +248,30 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         warmup=args.warmup,
         measurement=args.measurement,
         watchdog=args.watchdog,
+    )
+    if args.sprt:
+        # Sequential statistical model checking: stop as soon as the
+        # clean-trial hypothesis is decided (see docs/guarantees.md).
+        from .guarantees import report_sprt, run_sprt_reliability
+
+        estimate = run_sprt_reliability(
+            base_seed=args.base_seed,
+            max_samples=args.samples,
+            engine=engine_options(args),
+            **sprt_options(args),
+            **trial_kwargs,
+        )
+        print(report_sprt(estimate))
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(estimate, fh, sort_keys=True, indent=2)
+                fh.write("\n")
+            print(f"saved estimate to {args.out}")
+        return
+    estimate = run_reliability(
+        args.samples,
         base_seed=args.base_seed,
+        **trial_kwargs,
         **engine_options(args),
     )
     if args.out:

@@ -1,0 +1,37 @@
+"""Certified worst-case latency bounds and statistical model checking.
+
+Three layers turn the paper's non-blocking claim into a
+machine-checkable guarantee (see ``docs/guarantees.md``):
+
+* :mod:`~repro.guarantees.bounds` — analytical per-route worst-case
+  latency bounds composed from the pipeline model, with a per-scheme
+  wakeup penalty; :func:`certify_non_blocking` proves PowerPunch's
+  bound equals No-PG's route by route.
+* :mod:`~repro.guarantees.checker` — :class:`BoundChecker`, runtime
+  enforcement as a delivery-stream invariant (``--bounds``).
+* :mod:`~repro.guarantees.sprt` — Wald's sequential probability ratio
+  test for early-stopping reliability campaigns (``--sprt``).
+"""
+
+from .bounds import (
+    BoundTerms,
+    LatencyBoundModel,
+    UnboundableConfigError,
+    certify_non_blocking,
+    resolved_punch_hops,
+    wakeup_penalty_per_hop,
+)
+from .checker import BoundChecker
+from .sprt import SPRT, wilson_verdict
+
+__all__ = [
+    "BoundChecker",
+    "BoundTerms",
+    "LatencyBoundModel",
+    "SPRT",
+    "UnboundableConfigError",
+    "certify_non_blocking",
+    "resolved_punch_hops",
+    "wakeup_penalty_per_hop",
+    "wilson_verdict",
+]

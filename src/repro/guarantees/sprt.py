@@ -1,0 +1,148 @@
+"""Wald's sequential probability ratio test for Bernoulli proportions.
+
+Statistical model checking of reliability properties: instead of
+burning a fixed ``--samples`` budget and reading a confidence interval
+afterwards, an :class:`SPRT` decides the hypothesis *while sampling*
+and stops at the first trial where the evidence crosses a threshold —
+typically far earlier than the fixed-sample campaign for any ``p``
+away from the indifference region.
+
+The test discriminates
+
+* **H0** (``accept``): the success probability is at least ``p0``
+  (e.g. "P(clean delivery) >= 0.999"), versus
+* **H1** (``reject``): it is at most ``p1 < p0``.
+
+After each Bernoulli observation the log-likelihood ratio
+
+    ``llr += log(f(x | p1) / f(x | p0))``
+
+is compared against Wald's thresholds ``A = log((1-beta)/alpha)``
+(cross upward → accept H1, i.e. *reject* the property) and
+``B = log(beta/(1-alpha))`` (cross downward → accept H0).  ``alpha``
+bounds the false-rejection probability, ``beta`` the
+false-acceptance probability; between the thresholds the test keeps
+sampling.  Inside the indifference region ``(p1, p0)`` neither error
+bound applies — that is the price of sequential stopping, and why
+``p0``/``p1`` should bracket the operating point you care about.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, Optional
+
+from ..stats_util import wilson_interval
+
+
+class SPRT:
+    """One sequential test over a stream of Bernoulli observations.
+
+    Feed trials with :meth:`update` (or :meth:`update_many`); once a
+    verdict is reached the test freezes — further observations are
+    ignored, so a batch driver may overshoot the stopping point
+    without corrupting the decision.
+    """
+
+    def __init__(
+        self,
+        p0: float,
+        p1: float,
+        alpha: float = 0.05,
+        beta: float = 0.05,
+    ) -> None:
+        if not 0.0 < p1 < p0 < 1.0:
+            raise ValueError(
+                f"need 0 < p1 < p0 < 1, got p0={p0} p1={p1} "
+                "(p0 is the null 'good' proportion, p1 the alternative)"
+            )
+        if not 0.0 < alpha < 1.0 or not 0.0 < beta < 1.0:
+            raise ValueError("alpha and beta must lie in (0, 1)")
+        self.p0 = p0
+        self.p1 = p1
+        self.alpha = alpha
+        self.beta = beta
+        #: Per-observation LLR increments.  p1 < p0 makes the success
+        #: step negative (evidence for H0) and the failure step
+        #: positive (evidence for H1).
+        self._success_step = math.log(p1 / p0)
+        self._failure_step = math.log((1.0 - p1) / (1.0 - p0))
+        self.upper = math.log((1.0 - beta) / alpha)
+        self.lower = math.log(beta / (1.0 - alpha))
+        self.llr = 0.0
+        self.observations = 0
+        self.successes = 0
+        self.verdict: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def update(self, success: bool) -> Optional[str]:
+        """Feed one trial; returns the verdict if the test just decided
+        (or had already decided), else ``None``."""
+        if self.verdict is not None:
+            return self.verdict
+        self.observations += 1
+        if success:
+            self.successes += 1
+            self.llr += self._success_step
+        else:
+            self.llr += self._failure_step
+        if self.llr >= self.upper:
+            self.verdict = "reject"
+        elif self.llr <= self.lower:
+            self.verdict = "accept"
+        return self.verdict
+
+    def update_many(self, outcomes: Iterable[bool]) -> Optional[str]:
+        """Feed trials until exhausted or decided."""
+        for outcome in outcomes:
+            if self.update(outcome) is not None:
+                break
+        return self.verdict
+
+    # ------------------------------------------------------------------
+    @property
+    def min_samples_to_accept(self) -> int:
+        """Fewest all-success trials that can accept H0."""
+        return math.ceil(self.lower / self._success_step)
+
+    @property
+    def min_samples_to_reject(self) -> int:
+        """Fewest all-failure trials that can reject H0."""
+        return math.ceil(self.upper / self._failure_step)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready state (verdict, counts, thresholds)."""
+        return {
+            "p0": self.p0,
+            "p1": self.p1,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "observations": self.observations,
+            "successes": self.successes,
+            "llr": self.llr,
+            "upper_threshold": self.upper,
+            "lower_threshold": self.lower,
+            "verdict": self.verdict,
+        }
+
+
+def wilson_verdict(
+    successes: int, trials: int, p0: float, p1: float, z: float = 1.96
+) -> str:
+    """Fixed-sample counterpart of the SPRT decision.
+
+    ``accept`` when the Wilson 95% interval excludes the alternative
+    (lower bound above ``p1``), ``reject`` when it excludes the null
+    (upper bound below ``p0``), ``undecided`` otherwise — the verdict a
+    fixed ``--samples`` reliability campaign supports, used to
+    cross-check that sequential stopping reaches the same conclusion
+    on fewer trials.
+    """
+    if not 0.0 < p1 < p0 < 1.0:
+        raise ValueError(f"need 0 < p1 < p0 < 1, got p0={p0} p1={p1}")
+    lower, upper = wilson_interval(successes, trials, z)
+    if lower > p1:
+        return "accept"
+    if upper < p0:
+        return "reject"
+    return "undecided"

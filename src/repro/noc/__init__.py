@@ -7,6 +7,7 @@ comparison points via ``NoCConfig(topology=...)``.
 
 from .config import VALID_TOPOLOGIES, NoCConfig
 from .errors import (
+    BoundViolationError,
     BufferOverflowError,
     ConfigError,
     DeadlockError,
@@ -70,6 +71,7 @@ from .topology import (
 __all__ = [
     "ALL_DIRECTIONS",
     "AlwaysOnPolicy",
+    "BoundViolationError",
     "BufferOverflowError",
     "CONTROL_PACKET_FLITS",
     "ConfigError",

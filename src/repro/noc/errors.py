@@ -24,6 +24,8 @@ working.
   (see :mod:`repro.noc.invariants`).
 * :class:`DeadlockError` — the deadlock/livelock watchdog tripped;
   carries a structured :class:`~repro.noc.invariants.PostMortem`.
+* :class:`BoundViolationError` — a delivered packet exceeded its
+  certified worst-case latency bound (see :mod:`repro.guarantees`).
 * :class:`DegradedNetworkError` — the graceful-degradation policy
   declared a router permanently dead and failed fast; carries the
   blast radius (dead routers + affected packets).
@@ -131,6 +133,43 @@ class DeadlockError(InvariantViolation):
     def __init__(self, message: str, post_mortem=None, **context) -> None:
         self.post_mortem = post_mortem
         super().__init__("deadlock-watchdog", message, **context)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.post_mortem is None:
+            return base
+        return f"{base}\n{self.post_mortem.render()}"
+
+
+class BoundViolationError(InvariantViolation):
+    """A delivered packet exceeded its certified worst-case latency
+    bound (see :mod:`repro.guarantees`).
+
+    Carries the violation's full context: ``observed`` and ``bound``
+    latencies in cycles, the bound's term-by-term decomposition
+    (``terms``), the packet's ``route`` (router walk, endpoints
+    inclusive), and — when an invariant checker is installed alongside
+    the bound checker — a :class:`~repro.noc.invariants.PostMortem`
+    with the flight recorder's recent events.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        observed: Optional[int] = None,
+        bound: Optional[int] = None,
+        terms: Optional[dict] = None,
+        route=(),
+        post_mortem=None,
+        **context,
+    ) -> None:
+        self.observed = observed
+        self.bound = bound
+        self.terms = dict(terms) if terms else {}
+        self.route = list(route)
+        self.post_mortem = post_mortem
+        super().__init__("latency-bound", message, **context)
 
     def __str__(self) -> str:
         base = super().__str__()

@@ -441,6 +441,7 @@ _ambient_strict_invariants: bool = False
 _ambient_watchdog: Optional[int] = None
 _ambient_degradation: Optional[str] = None
 _ambient_dead_threshold: Optional[int] = None
+_ambient_bounds: bool = False
 
 
 def set_ambient(
@@ -449,6 +450,7 @@ def set_ambient(
     watchdog: Optional[int] = None,
     degradation: Optional[str] = None,
     dead_router_threshold: Optional[int] = None,
+    bounds: bool = False,
 ) -> None:
     """Configure robustness features for every subsequently built network.
 
@@ -457,10 +459,18 @@ def set_ambient(
     ``dead_router_threshold``, when not ``None``, override the
     corresponding ``NoCConfig`` fields of every subsequently built
     network (the CLI's ``--degradation`` / ``--reroute`` /
-    ``--dead-router-threshold`` knobs).
+    ``--dead-router-threshold`` knobs).  ``bounds`` installs a strict
+    :class:`repro.guarantees.BoundChecker` on every network (the
+    ``--bounds`` flag); it is rejected together with ``fault_spec``
+    because latency bounds are certified for fault-free runs only.
     """
     global _ambient_fault_spec, _ambient_strict_invariants, _ambient_watchdog
-    global _ambient_degradation, _ambient_dead_threshold
+    global _ambient_degradation, _ambient_dead_threshold, _ambient_bounds
+    if bounds and fault_spec is not None:
+        raise FaultSpecError(
+            "--bounds certifies fault-free latency bounds and cannot "
+            "be combined with --faults"
+        )
     if fault_spec is not None:
         FaultSchedule.parse(fault_spec)
     if degradation is not None and degradation not in (
@@ -480,22 +490,24 @@ def set_ambient(
     _ambient_watchdog = watchdog
     _ambient_degradation = degradation
     _ambient_dead_threshold = dead_router_threshold
+    _ambient_bounds = bounds
 
 
 def clear_ambient() -> None:
     """Reset the ambient robustness configuration."""
-    set_ambient(None, False, None, None, None)
+    set_ambient(None, False, None, None, None, False)
 
 
 def ambient_config() -> Tuple[
-    Optional[str], bool, Optional[int], Optional[str], Optional[int]
+    Optional[str], bool, Optional[int], Optional[str], Optional[int], bool
 ]:
     """The staged ``(fault_spec, strict_invariants, watchdog,
-    degradation, dead_router_threshold)`` tuple."""
+    degradation, dead_router_threshold, bounds)`` tuple."""
     return (
         _ambient_fault_spec,
         _ambient_strict_invariants,
         _ambient_watchdog,
         _ambient_degradation,
         _ambient_dead_threshold,
+        _ambient_bounds,
     )

@@ -92,6 +92,7 @@ class Network:
             _watchdog,
             ambient_degradation,
             ambient_threshold,
+            _bounds,
         ) = ambient_config()
         self._degradation = (
             ambient_degradation
@@ -169,6 +170,8 @@ class Network:
         #: Optional robustness layer (see install_faults / install_invariants).
         self.faults: Optional[FaultInjector] = None
         self.invariants: Optional["InvariantChecker"] = None
+        #: Optional latency-bound checker (see install_bounds).
+        self.bounds = None
         #: Graceful-degradation state (see _check_degradation): routers
         #: declared permanently dead, and a memo of which (start, dest)
         #: XY walks cross one (cleared whenever the dead set grows).
@@ -187,10 +190,16 @@ class Network:
     # ------------------------------------------------------------------
     def _apply_ambient_robustness(self) -> None:
         """Honor the process-wide ``--faults`` / ``--strict-invariants``
-        configuration staged via :func:`repro.noc.faults.set_ambient`."""
-        fault_spec, strict_invariants, watchdog, _degradation, _threshold = (
-            ambient_config()
-        )
+        / ``--bounds`` configuration staged via
+        :func:`repro.noc.faults.set_ambient`."""
+        (
+            fault_spec,
+            strict_invariants,
+            watchdog,
+            _degradation,
+            _threshold,
+            bounds,
+        ) = ambient_config()
         if fault_spec is not None:
             self.install_faults(FaultInjector(FaultSchedule.parse(fault_spec)))
         if strict_invariants:
@@ -200,11 +209,24 @@ class Network:
             if watchdog is not None:
                 kwargs["max_network_age"] = watchdog
             self.install_invariants(InvariantChecker(strict=True, **kwargs))
+        if bounds:
+            # Deferred import: the guarantees layer sits above noc.
+            from ..guarantees import BoundChecker
+
+            self.install_bounds(BoundChecker(strict=True))
 
     def install_faults(self, injector: FaultInjector) -> None:
         """Attach a fault injector; the policy wires its own fault points
         (punch fabric, PG controllers) and enables the blocking-wakeup
         fallback so lost punches degrade latency instead of liveness."""
+        if self.bounds is not None:
+            from ..guarantees.bounds import UnboundableConfigError
+
+            raise UnboundableConfigError(
+                "latency bounds are certified for the fault-free "
+                "pipeline model; remove the bound checker before "
+                "installing a fault injector"
+            )
         self._disengage_vector()
         self.faults = injector
         self.policy.on_faults_installed(injector)
@@ -223,6 +245,17 @@ class Network:
             # front: an acyclic channel-dependency graph, or a loud
             # InvariantViolation before the first cycle runs.
             self.routing.verify_deadlock_free()
+
+    def install_bounds(self, checker) -> None:
+        """Attach a :class:`repro.guarantees.BoundChecker`.
+
+        Unlike faults/invariants this is a pure delivery listener — it
+        reads completed packets and never perturbs simulation state —
+        so it does **not** disengage the vector kernel: the SoA engine
+        fires ejection listeners exactly like the object kernels.
+        """
+        self.bounds = checker
+        checker.attach(self)
 
     # ------------------------------------------------------------------
     # Producer-facing API

@@ -1,0 +1,164 @@
+"""Shared statistics utilities.
+
+Two small, heavily reused pieces live here so the reliability
+estimator, the guarantees layer and the core stats counters share one
+tested implementation each:
+
+* :func:`wilson_interval` — the Wilson score interval for a binomial
+  proportion (previously private to ``experiments/reliability.py``;
+  the SPRT layer needs it too for its fixed-sample comparison
+  verdicts).
+* :class:`ReservoirQuantiles` — a fixed-size uniform reservoir sampler
+  (Vitter's algorithm R) for latency quantiles, so long runs report
+  p50/p95/p99 in bounded memory instead of keeping one entry per
+  delivered packet.
+
+Both are dependency-free (no ``repro.noc`` imports) so any layer can
+use them without cycles.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the normal approximation it stays inside [0, 1] and behaves
+    at p near 0/1 — exactly where reliability estimates live.
+    """
+    if trials <= 0:
+        return (0.0, 1.0)
+    if successes < 0 or successes > trials:
+        raise ValueError(f"successes={successes} outside [0, {trials}]")
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denom
+    half = (z / denom) * math.sqrt(
+        p * (1.0 - p) / trials + z2 / (4.0 * trials * trials)
+    )
+    return (max(0.0, center - half), min(1.0, center + half))
+
+
+# 64-bit LCG (Knuth's MMIX constants).  The reservoir needs a private,
+# serializable random stream: sharing ``random.Random`` state with the
+# traffic generators would perturb seeded simulations, and pickling
+# ``Random.getstate()`` into JSON is awkward.  A single integer state
+# round-trips exactly.
+_LCG_A = 6364136223846793005
+_LCG_C = 1442695040888963407
+_LCG_MASK = (1 << 64) - 1
+
+#: Default reservoir seed (golden-ratio constant; any fixed value works
+#: — what matters is that every run uses the same one).
+DEFAULT_RESERVOIR_SEED = 0x9E3779B97F4A7C15
+
+
+class ReservoirQuantiles:
+    """Fixed-size uniform reservoir for streaming quantile estimates.
+
+    Algorithm R: the first ``capacity`` values are kept verbatim; value
+    number ``n > capacity`` replaces a uniformly random slot with
+    probability ``capacity / n``.  Every slot is then a uniform sample
+    of the stream, so the sorted reservoir's nearest-rank order
+    statistics estimate the stream's quantiles — with O(capacity)
+    memory regardless of stream length, and *exactly* (no sampling
+    error) while ``count <= capacity``.
+
+    Determinism: the replacement stream comes from a private 64-bit
+    LCG seeded by ``seed``, so two identical runs build bit-identical
+    reservoirs, and :meth:`to_dict`/:meth:`from_dict` round-trip the
+    full state (including the LCG position — a restored reservoir
+    continues exactly where the original would have).
+    """
+
+    __slots__ = ("capacity", "seed", "count", "samples", "_state")
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        seed: int = DEFAULT_RESERVOIR_SEED,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("reservoir capacity must be positive")
+        self.capacity = capacity
+        self.seed = seed
+        self.count = 0
+        self.samples: List[float] = []
+        self._state = seed & _LCG_MASK
+
+    # ------------------------------------------------------------------
+    def add(self, value: float) -> None:
+        """Offer one stream value to the reservoir."""
+        self.count += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+            return
+        self._state = (self._state * _LCG_A + _LCG_C) & _LCG_MASK
+        # High bits of an LCG are the well-mixed ones.
+        j = (self._state >> 16) % self.count
+        if j < self.capacity:
+            self.samples[j] = value
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Nearest-rank quantile estimate (``None`` while empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        if not self.samples:
+            return None
+        ordered = sorted(self.samples)
+        rank = max(0, math.ceil(q * len(ordered)) - 1)
+        return ordered[rank]
+
+    @property
+    def p50(self) -> Optional[float]:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> Optional[float]:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> Optional[float]:
+        return self.quantile(0.99)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Full state, JSON-ready.  ``from_dict`` inverts it exactly."""
+        return {
+            "capacity": self.capacity,
+            "seed": self.seed,
+            "count": self.count,
+            "state": self._state,
+            "samples": list(self.samples),
+        }
+
+    @classmethod
+    def from_dict(cls, dump: Dict[str, object]) -> "ReservoirQuantiles":
+        """Rebuild a reservoir from a :meth:`to_dict` dump."""
+        reservoir = cls(capacity=int(dump["capacity"]), seed=int(dump["seed"]))
+        reservoir.count = int(dump["count"])
+        reservoir.samples = list(dump["samples"])
+        reservoir._state = int(dump["state"])
+        if len(reservoir.samples) > reservoir.capacity:
+            raise ValueError(
+                f"reservoir dump holds {len(reservoir.samples)} samples "
+                f"but capacity is {reservoir.capacity}"
+            )
+        return reservoir
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReservoirQuantiles):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ReservoirQuantiles(capacity={self.capacity}, "
+            f"count={self.count}, kept={len(self.samples)})"
+        )

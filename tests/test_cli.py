@@ -51,32 +51,37 @@ class TestDispatch:
 
 class TestRobustnessFlags:
     def test_flags_extracted_before_command(self):
-        rest, spec, strict, watchdog, degradation, threshold = cli._split_robustness_flags(
-            [
-                "--strict-invariants",
-                "--faults",
-                "punch_drop,rate=0.5",
-                "fig12",
-                "--patterns",
-                "uniform_random",
-            ]
+        rest, spec, strict, watchdog, degradation, threshold, bounds = (
+            cli._split_robustness_flags(
+                [
+                    "--strict-invariants",
+                    "--faults",
+                    "punch_drop,rate=0.5",
+                    "fig12",
+                    "--patterns",
+                    "uniform_random",
+                ]
+            )
         )
         assert rest == ["fig12", "--patterns", "uniform_random"]
         assert spec == "punch_drop,rate=0.5"
         assert strict is True
         assert watchdog is None
+        assert bounds is False
 
     def test_equals_forms(self):
-        rest, spec, strict, watchdog, degradation, threshold = cli._split_robustness_flags(
-            ["--faults=punch_dup", "--watchdog=1234", "headline"]
+        rest, spec, strict, watchdog, degradation, threshold, bounds = (
+            cli._split_robustness_flags(
+                ["--faults=punch_dup", "--watchdog=1234", "headline"]
+            )
         )
         assert rest == ["headline"]
         assert spec == "punch_dup"
         assert watchdog == 1234
 
     def test_flags_after_command_pass_through_to_subcommand(self):
-        rest, spec, strict, watchdog, degradation, threshold = cli._split_robustness_flags(
-            ["fig12", "--strict-invariants"]
+        rest, spec, strict, watchdog, degradation, threshold, bounds = (
+            cli._split_robustness_flags(["fig12", "--strict-invariants"])
         )
         assert rest == ["fig12", "--strict-invariants"]
         assert strict is False
@@ -96,7 +101,7 @@ class TestRobustnessFlags:
         starts, and leaves no ambient configuration behind."""
         with pytest.raises(FaultSpecError):
             cli.main(["--faults", "frobnicate,rate=0.5", "table1"])
-        assert ambient_config() == (None, False, None, None, None)
+        assert ambient_config() == (None, False, None, None, None, False)
 
 
 class TestRobustnessGolden:
@@ -151,5 +156,5 @@ class TestRobustnessGolden:
         assert checked.invariants.checks_run > 0
 
         # The ambient configuration never leaks past main().
-        assert ambient_config() == (None, False, None, None, None)
+        assert ambient_config() == (None, False, None, None, None, False)
         assert Network(NoCConfig()).invariants is None

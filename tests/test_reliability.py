@@ -323,7 +323,7 @@ class TestRobustnessArgs:
     def test_no_flags_is_a_noop(self):
         args = self._parser().parse_args([])
         assert not apply_robustness_args(args)
-        assert ambient_config() == (None, False, None, None, None)
+        assert ambient_config() == (None, False, None, None, None, False)
 
     def test_bad_degradation_choice_exits(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,253 @@
+"""Sequential model checking + shared statistics utilities.
+
+Covers Wald's SPRT (thresholds, freezing, minimal decisive runs), its
+fixed-sample Wilson counterpart, the hoisted ``wilson_interval``, the
+reservoir quantile estimator (exactness below capacity, bounded
+memory, bit-exact serialization), the NetworkStats p50/p95/p99
+integration, and the acceptance cross-check: on the same seeded
+reliability outcome stream the SPRT reaches the fixed-sample
+campaign's verdict using fewer trials.
+"""
+
+import json
+
+import pytest
+
+from repro.campaign.runner import run_cell
+from repro.campaign.spec import CellSpec
+from repro.experiments.guarantees import report_sprt, run_sprt_reliability
+from repro.experiments.reliability import (
+    aggregate,
+    reliability_campaign,
+    wilson_interval as reliability_wilson,
+)
+from repro.guarantees import SPRT, wilson_verdict
+from repro.noc import NoCConfig
+from repro.stats_util import ReservoirQuantiles, wilson_interval
+
+
+# ----------------------------------------------------------------------
+# SPRT
+# ----------------------------------------------------------------------
+def test_sprt_rejects_bad_hypotheses():
+    with pytest.raises(ValueError):
+        SPRT(0.6, 0.9)  # p1 must be below p0
+    with pytest.raises(ValueError):
+        SPRT(0.9, 0.6, alpha=0.0)
+
+
+def test_sprt_accepts_after_enough_successes():
+    sprt = SPRT(0.9, 0.6)
+    n = sprt.min_samples_to_accept
+    for i in range(n - 1):
+        assert sprt.update(True) is None
+    assert sprt.update(True) == "accept"
+    assert sprt.observations == n
+    assert sprt.llr <= sprt.lower
+
+
+def test_sprt_rejects_after_enough_failures():
+    sprt = SPRT(0.9, 0.6)
+    n = sprt.min_samples_to_reject
+    for _ in range(n - 1):
+        assert sprt.update(False) is None
+    assert sprt.update(False) == "reject"
+    assert sprt.observations == n
+
+
+def test_sprt_freezes_after_verdict():
+    sprt = SPRT(0.9, 0.6)
+    while sprt.update(True) is None:
+        pass
+    decided_at = sprt.observations
+    llr = sprt.llr
+    # Overshooting observations must not move the decision.
+    assert sprt.update(False) == "accept"
+    assert sprt.observations == decided_at
+    assert sprt.llr == llr
+
+
+def test_sprt_update_many_stops_early():
+    sprt = SPRT(0.9, 0.6)
+    verdict = sprt.update_many([False] * 100)
+    assert verdict == "reject"
+    assert sprt.observations == sprt.min_samples_to_reject
+
+
+def test_sprt_to_dict_round_trips_json():
+    sprt = SPRT(0.9, 0.6, alpha=0.01, beta=0.02)
+    sprt.update_many([True, True, False])
+    dump = json.loads(json.dumps(sprt.to_dict()))
+    assert dump["observations"] == 3
+    assert dump["successes"] == 2
+    assert dump["verdict"] is None
+
+
+def test_wilson_verdict_brackets():
+    assert wilson_verdict(98, 100, 0.9, 0.6) == "accept"
+    assert wilson_verdict(10, 100, 0.9, 0.6) == "reject"
+    assert wilson_verdict(8, 10, 0.9, 0.6) == "undecided"
+    with pytest.raises(ValueError):
+        wilson_verdict(5, 10, 0.6, 0.9)
+
+
+# ----------------------------------------------------------------------
+# Hoisted Wilson interval
+# ----------------------------------------------------------------------
+def test_wilson_interval_hoisted_identity():
+    # reliability re-exports the shared implementation, not a copy.
+    assert reliability_wilson is wilson_interval
+
+
+def test_wilson_interval_basics():
+    assert wilson_interval(0, 0) == (0.0, 1.0)
+    lower, upper = wilson_interval(90, 100)
+    assert 0.8 < lower < 0.9 < upper < 1.0
+    with pytest.raises(ValueError):
+        wilson_interval(11, 10)
+
+
+# ----------------------------------------------------------------------
+# Reservoir quantiles
+# ----------------------------------------------------------------------
+def test_reservoir_exact_below_capacity():
+    reservoir = ReservoirQuantiles(capacity=512)
+    for v in range(1, 101):
+        reservoir.add(v)
+    assert reservoir.quantile(0.5) == 50
+    assert reservoir.p95 == 95
+    assert reservoir.p99 == 99
+    assert reservoir.quantile(1.0) == 100
+
+
+def test_reservoir_bounds_memory():
+    reservoir = ReservoirQuantiles(capacity=64)
+    for v in range(10_000):
+        reservoir.add(v)
+    assert reservoir.count == 10_000
+    assert len(reservoir.samples) == 64
+    # Uniform stream: the sampled median should land mid-range.
+    assert 2_000 < reservoir.p50 < 8_000
+
+
+def test_reservoir_empty_and_invalid():
+    reservoir = ReservoirQuantiles()
+    assert reservoir.p50 is None
+    with pytest.raises(ValueError):
+        reservoir.quantile(1.5)
+    with pytest.raises(ValueError):
+        ReservoirQuantiles(capacity=0)
+
+
+def test_reservoir_round_trip_continues_identically():
+    a = ReservoirQuantiles(capacity=32, seed=99)
+    for v in range(500):
+        a.add(v)
+    b = ReservoirQuantiles.from_dict(json.loads(json.dumps(a.to_dict())))
+    assert a == b
+    # A restored reservoir replays the original's future exactly.
+    for v in range(500, 900):
+        a.add(v)
+        b.add(v)
+    assert a.to_dict() == b.to_dict()
+
+
+def test_reservoir_from_dict_validates_capacity():
+    with pytest.raises(ValueError):
+        ReservoirQuantiles.from_dict(
+            {"capacity": 2, "seed": 1, "count": 3, "state": 1, "samples": [1, 2, 3]}
+        )
+
+
+def test_network_stats_quantiles():
+    cell = CellSpec.synthetic(
+        "uniform_random",
+        0.05,
+        "PowerPunch-PG",
+        warmup=150,
+        measurement=300,
+        seed=7,
+        config=NoCConfig(width=4, height=4),
+    )
+    record = run_cell(cell)
+    # The RunRecord path exercises the same stats object; rebuild one
+    # directly for the quantile properties.
+    from repro.core import PowerPunchPG
+    from repro.noc import Network
+    from repro.traffic import SyntheticTraffic
+
+    network = Network(NoCConfig(width=4, height=4), PowerPunchPG())
+    traffic = SyntheticTraffic(network, "uniform_random", 0.05, seed=7)
+    traffic.run(150)
+    network.stats.measure_from = network.cycle
+    traffic.run(300)
+    traffic.drain()
+    stats = network.stats
+    assert stats.quantiles.count == stats.delivered
+    assert stats.p50_latency <= stats.p95_latency <= stats.p99_latency
+    # The golden-compared counter contract is untouched: no reservoir
+    # key in as_dict, and the round-trip still holds.
+    dump = stats.as_dict()
+    assert "quantiles" not in dump
+    assert type(stats).from_dict(dump).as_dict() == dump
+    assert record.avg_packet_latency > 0
+
+
+# ----------------------------------------------------------------------
+# SPRT vs fixed-sample campaign (acceptance cross-check)
+# ----------------------------------------------------------------------
+_TRIAL_KWARGS = dict(
+    pattern="uniform_random",
+    injection_rate=0.02,
+    scheme="PowerPunch-PG",
+    width=4,
+    height=4,
+    max_faults=1,
+    horizon=600,
+    warmup=200,
+    measurement=600,
+    watchdog=50_000,
+)
+
+
+def test_sprt_matches_wilson_with_fewer_samples():
+    samples = 14
+    campaign = reliability_campaign(samples, base_seed=1, **_TRIAL_KWARGS)
+    outcomes = [run_cell(cell) for cell in campaign.cells]
+    estimate = aggregate(outcomes)
+    clean = estimate["clean_trials"]
+    # Hypotheses bracketing the observed operating point so the fixed
+    # campaign is decisive on this seeded reference.
+    p0, p1 = 0.55, 0.15
+    fixed = wilson_verdict(clean, samples, p0, p1)
+    assert fixed in ("accept", "reject")
+    sprt = SPRT(p0, p1)
+    sprt.update_many(bool(o["delivered_all"]) for o in outcomes)
+    assert sprt.verdict == fixed
+    assert sprt.observations < samples
+
+
+def test_run_sprt_reliability_driver():
+    estimate = run_sprt_reliability(
+        base_seed=1,
+        max_samples=14,
+        p0=0.55,
+        p1=0.15,
+        batch=4,
+        **_TRIAL_KWARGS,
+    )
+    assert estimate["verdict"] in ("accept", "reject")
+    assert estimate["samples_used"] == estimate["sprt"]["observations"]
+    assert estimate["samples_used"] <= estimate["samples_declared"] <= 14
+    assert len(estimate["trial_outcomes"]) == estimate["samples_used"]
+    # Deterministic and JSON-clean (the CI job diffs two runs).
+    again = run_sprt_reliability(
+        base_seed=1,
+        max_samples=14,
+        p0=0.55,
+        p1=0.15,
+        batch=4,
+        **_TRIAL_KWARGS,
+    )
+    assert json.dumps(estimate, sort_keys=True) == json.dumps(again, sort_keys=True)
+    assert "verdict" in report_sprt(estimate)
