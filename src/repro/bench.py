@@ -46,6 +46,16 @@ than ``--tolerance`` (default 30%) below the baseline for any
 ``*_cps`` column present in both documents — a trend job, deliberately
 insensitive to ordinary machine-to-machine noise in the speedup ratios
 themselves.
+
+Campaign throughput mode (``--campaign``) benchmarks the *campaign
+executors* instead of the cycle kernels: the same batch of cheap
+synthetic cells runs through the single-host process pool and through
+an ephemeral two-host local service cluster (``docs/service.md``),
+reporting cells/sec for each and asserting the payloads came back
+bit-identical.  Output schema (``bench_campaign/v1``) lands in
+``BENCH_campaign.json``; the service row carries real orchestration
+overhead (TCP round-trips, leases, per-host engine pools), so it is a
+distribution-tax trend line, not a horse race.
 """
 
 from __future__ import annotations
@@ -359,6 +369,101 @@ def run_matrix(
     }
 
 
+def campaign_throughput_cells(count: int, measurement: int = 60):
+    """Cheap, distinct synthetic cells for executor benchmarking."""
+    from .campaign import CellSpec
+
+    return [
+        CellSpec.synthetic(
+            "uniform_random",
+            0.02,
+            "PowerPunch-PG",
+            warmup=20,
+            measurement=measurement,
+            seed=seed,
+            drain=False,
+        )
+        for seed in range(1, count + 1)
+    ]
+
+
+def run_campaign_bench(
+    count: int,
+    workers: int,
+    service_hosts: int,
+    measurement: int = 60,
+    verbose: bool = True,
+) -> Dict[str, object]:
+    """Benchmark single-host pool vs local service on the same cells.
+
+    Both executors get the same total parallelism (``workers`` pool
+    slots vs ``service_hosts`` hosts of ``workers // service_hosts``
+    capacity each, minimum 1) and run cache-less so every cell
+    actually executes.  Returns the ``bench_campaign/v1`` document.
+    """
+    import json as _json
+
+    from .campaign import execute_cells
+    from .campaign.cache import encode_payload
+    from .campaign.service import run_hosted
+
+    cells = campaign_throughput_cells(count, measurement=measurement)
+
+    start = perf_counter()
+    single_payloads, _single = execute_cells(cells, workers=workers)
+    single_elapsed = perf_counter() - start
+
+    per_host = max(1, workers // service_hosts)
+    start = perf_counter()
+    hosted_payloads, hosted_stats = run_hosted(
+        cells,
+        f"local:{service_hosts}",
+        name="bench-campaign",
+        workers=per_host,
+    )
+    hosted_elapsed = perf_counter() - start
+
+    identical = [
+        _json.dumps(encode_payload(p), sort_keys=True) for p in single_payloads
+    ] == [
+        _json.dumps(encode_payload(p), sort_keys=True) for p in hosted_payloads
+    ]
+    if not identical:
+        raise AssertionError(
+            "service payloads diverged from the single-host run"
+        )
+    doc = {
+        "schema": "bench_campaign/v1",
+        "cells": count,
+        "measurement": measurement,
+        "results": [
+            {
+                "executor": "single-host-pool",
+                "workers": workers,
+                "elapsed": round(single_elapsed, 3),
+                "cells_per_sec": round(count / single_elapsed, 2),
+            },
+            {
+                "executor": f"service-{service_hosts}host",
+                "hosts": service_hosts,
+                "capacity_per_host": per_host,
+                "elapsed": round(hosted_elapsed, 3),
+                "cells_per_sec": round(count / hosted_elapsed, 2),
+                "service": getattr(hosted_stats, "service", {}),
+            },
+        ],
+        "identical_payloads": identical,
+    }
+    if verbose:
+        for row in doc["results"]:
+            print(
+                f"{row['executor']:>20}: {row['cells_per_sec']:>8} cells/s "
+                f"({row['elapsed']}s for {count} cells)",
+                file=sys.stderr,
+            )
+    return doc
+
+
 def check_against_baseline(
     current: Dict[str, object], baseline: Dict[str, object], tolerance: float
 ) -> List[str]:
@@ -453,6 +558,31 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="small matrix for CI trend runs (8x8, rate 0.02, 1 repetition)",
     )
     parser.add_argument(
+        "--campaign",
+        action="store_true",
+        help="benchmark campaign executors (single-host pool vs local "
+        "service cluster) instead of cycle kernels; writes "
+        "BENCH_campaign.json unless --out is given",
+    )
+    parser.add_argument(
+        "--campaign-cells",
+        type=int,
+        default=24,
+        help="cells in the campaign-throughput batch",
+    )
+    parser.add_argument(
+        "--campaign-workers",
+        type=int,
+        default=2,
+        help="total parallelism for both campaign executors",
+    )
+    parser.add_argument(
+        "--campaign-hosts",
+        type=int,
+        default=2,
+        help="worker hosts in the local service cluster",
+    )
+    parser.add_argument(
         "--check", default=None, help="baseline BENCH_kernel.json to compare against"
     )
     parser.add_argument(
@@ -460,6 +590,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="allowed fractional active_cps regression vs the baseline",
     )
     args = parser.parse_args(argv)
+
+    if args.campaign:
+        out = args.out
+        if out == parser.get_default("out"):
+            out = "BENCH_campaign.json"
+        doc = run_campaign_bench(
+            args.campaign_cells, args.campaign_workers, args.campaign_hosts
+        )
+        with open(out, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {out}", file=sys.stderr)
+        return 0
 
     if args.quick:
         args.meshes = ["8x8", "torus:8x8"]

@@ -8,6 +8,11 @@ wall-clock timeouts, retry classification with a persistent
 :class:`QuarantineLedger`, periodic :class:`CampaignCheckpoint`
 snapshots for ``kill -9`` recovery, and a structured JSONL progress
 log.  See ``docs/campaigns.md`` and ``docs/resilience.md``.
+
+Campaigns also run distributed: the :mod:`repro.campaign.service`
+subpackage provides a sharded orchestrator with leases, heartbeats
+and work-stealing over TCP worker hosts (``Campaign.run(hosts=...)``
+or ``--hosts`` on any campaign CLI; see ``docs/service.md``).
 """
 
 from .cache import CellCache, code_salt, decode_payload, encode_payload
@@ -22,7 +27,16 @@ from .cli import (
     require_mesh_topology,
     sprt_options,
 )
-from .engine import Campaign, CampaignError, CampaignStats, execute_cells
+from .engine import (
+    Campaign,
+    CampaignError,
+    CampaignInterrupted,
+    CampaignStats,
+    EventLog,
+    execute_cells,
+    iter_events,
+    merge_event_streams,
+)
 from .runner import build_scheme, run_cell, run_parsec, run_synthetic
 from .spec import CellSpec, freeze_items
 from .supervisor import (
@@ -41,10 +55,12 @@ __all__ = [
     "Campaign",
     "CampaignCheckpoint",
     "CampaignError",
+    "CampaignInterrupted",
     "CampaignStats",
     "CellCache",
     "CellSpec",
     "CellTimeoutError",
+    "EventLog",
     "FailureReport",
     "QuarantineLedger",
     "QuarantinedCellError",
@@ -65,6 +81,8 @@ __all__ = [
     "error_signature",
     "execute_cells",
     "freeze_items",
+    "iter_events",
+    "merge_event_streams",
     "require_mesh_topology",
     "run_cell",
     "run_parsec",

@@ -59,6 +59,15 @@ def add_campaign_args(
         help="quarantine ledger directory (default: <cache-dir>/quarantine)",
     )
     group.add_argument(
+        "--hosts",
+        default=None,
+        help="run the campaign on the distributed service instead of "
+        "the in-process pool: 'local:N' spins up an ephemeral "
+        "N-worker cluster on this machine, 'HOST:PORT' submits to "
+        "a running 'repro.cli serve' orchestrator (results are "
+        "bit-identical either way; see docs/service.md)",
+    )
+    group.add_argument(
         "--topology",
         choices=("mesh", "torus", "ring"),
         default="mesh",
@@ -285,4 +294,5 @@ def engine_options(args: argparse.Namespace) -> dict:
         "timeout": args.timeout,
         "max_retries": args.max_retries,
         "quarantine_dir": args.quarantine_dir,
+        "hosts": getattr(args, "hosts", None),
     }

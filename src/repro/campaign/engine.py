@@ -32,13 +32,25 @@ failed cells instead.
 from __future__ import annotations
 
 import json
+import signal
+import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from time import perf_counter
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from ..noc.errors import SimulationError
 from .cache import CellCache, Payload, code_salt
@@ -104,11 +116,72 @@ class CampaignStats:
         }
 
 
-class _EventLog:
-    """Append-only JSONL event sink (no-op without a path)."""
+class CampaignInterrupted(KeyboardInterrupt):
+    """A SIGTERM/SIGINT arrived mid-campaign.
 
-    def __init__(self, path: Optional[Union[str, Path]]) -> None:
+    Raised *after* the engine's cleanup has a chance to run (checkpoint
+    flush, event-log close, pool-worker kill), so a Ctrl-C'd or
+    systemd-stopped campaign resumes cleanly from its checkpoint.
+    Subclasses :class:`KeyboardInterrupt` so callers that already treat
+    Ctrl-C as fatal keep their semantics.
+    """
+
+    def __init__(self, signum: int) -> None:
+        self.signum = signum
+        super().__init__(f"campaign interrupted by signal {signum}")
+
+
+class _SignalGuard:
+    """Convert SIGTERM/SIGINT into :class:`CampaignInterrupted`.
+
+    Installed for the duration of ``execute_cells`` so termination
+    unwinds through the engine's ``finally`` blocks (checkpoint and
+    event-log flush, pool-worker kill) instead of dying mid-write.
+    Signal handlers are a main-thread-only facility; anywhere else
+    (e.g. a worker host running the engine on a thread) this guard is
+    a no-op and the surrounding process owns signal handling.
+    """
+
+    def __enter__(self) -> "_SignalGuard":
+        self._installed: List[Tuple[int, object]] = []
+        if threading.current_thread() is threading.main_thread():
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    previous = signal.signal(sig, self._raise)
+                except (ValueError, OSError):  # pragma: no cover - exotic
+                    continue
+                self._installed.append((sig, previous))
+        return self
+
+    def _raise(self, signum: int, frame) -> None:
+        raise CampaignInterrupted(signum)
+
+    def __exit__(self, *exc_info) -> bool:
+        for sig, previous in self._installed:
+            try:
+                signal.signal(sig, previous)
+            except (ValueError, OSError):  # pragma: no cover - exotic
+                pass
+        return False
+
+
+class EventLog:
+    """Append-only JSONL event sink (no-op without a path).
+
+    Every event carries a wall-clock ``ts`` plus a monotonic per-log
+    ``seq``; with a ``host`` identity set, events are additionally
+    stamped with it, so event streams from several hosts merge
+    deterministically (see :func:`merge_event_streams`).
+    """
+
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]],
+        host: Optional[str] = None,
+    ) -> None:
         self._fh = None
+        self._host = host
+        self._seq = 0
         if path is not None:
             path = Path(path)
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -117,14 +190,63 @@ class _EventLog:
     def emit(self, event: dict) -> None:
         if self._fh is None:
             return
-        event = {"ts": round(time.time(), 3), **event}
-        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+        stamped = {"ts": round(time.time(), 3), "seq": self._seq}
+        if self._host is not None:
+            stamped["host"] = self._host
+        stamped.update(event)
+        self._seq += 1
+        self._fh.write(json.dumps(stamped, sort_keys=True) + "\n")
         self._fh.flush()
 
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()
             self._fh = None
+
+
+#: Backwards-compatible alias (the class used to be module-private).
+_EventLog = EventLog
+
+
+def iter_events(path: Union[str, Path]) -> Iterator[dict]:
+    """Yield the events of a JSONL log, skipping torn/corrupt lines.
+
+    A crashed (or SIGKILLed) writer can leave a truncated trailing
+    line; like ``QuarantineLedger._load``, a line that does not parse
+    as a JSON object is silently skipped so readers degrade to the
+    events that were durably written instead of crashing.
+    """
+    try:
+        lines = Path(path).read_text().splitlines()
+    except OSError:
+        return
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(event, dict):
+            yield event
+
+
+def merge_event_streams(paths: Sequence[Union[str, Path]]) -> List[dict]:
+    """Deterministically merge several JSONL event logs.
+
+    Events are ordered by ``(ts, host, seq)`` — wall-clock first, ties
+    broken by host identity then per-host sequence number — so merging
+    the orchestrator's log with every worker host's log yields the
+    same stream no matter when or where the merge runs.
+    """
+    merged: List[dict] = []
+    for path in paths:
+        merged.extend(iter_events(path))
+    merged.sort(
+        key=lambda e: (e.get("ts", 0.0), str(e.get("host", "")), e.get("seq", 0))
+    )
+    return merged
 
 
 def _cell_event(status: str, spec: CellSpec, **extra) -> dict:
@@ -199,8 +321,10 @@ def execute_cells(
     checkpoint_every: int = 4,
     failure_mode: str = "raise",
     log_path: Optional[Union[str, Path]] = None,
+    log_host: Optional[str] = None,
     name: str = "campaign",
     on_result: Optional[Callable[[int, CellSpec, Payload, bool], None]] = None,
+    on_failure: Optional[Callable[[int, CellSpec, BaseException, str], None]] = None,
 ) -> Tuple[List[Optional[Payload]], CampaignStats]:
     """Execute cells; return ``(payloads_in_declared_order, stats)``.
 
@@ -213,7 +337,15 @@ def execute_cells(
     ``resume=False`` ignores cached/checkpointed entries (they are
     recomputed and overwritten) while still writing fresh results.
     ``on_result`` is called as ``(index, spec, payload, was_hit)`` in
-    completion order — hits first, then runs as they finish.
+    completion order — hits first, then runs as they finish;
+    ``on_failure`` as ``(index, spec, exception, classification)`` when
+    a cell fails for good.  ``log_host`` stamps every event with a host
+    identity (multi-host campaigns merge their logs deterministically).
+
+    While the engine runs on the main thread, SIGTERM/SIGINT are
+    converted into :class:`CampaignInterrupted`: the checkpoint and
+    event log are flushed and pool workers killed before the exception
+    propagates, so an interrupted campaign resumes cleanly.
     """
     if failure_mode not in ("raise", "continue"):
         raise ValueError("failure_mode must be 'raise' or 'continue'")
@@ -230,7 +362,7 @@ def execute_cells(
         )
 
     stats = CampaignStats(total=len(cells))
-    log = _EventLog(log_path)
+    log = EventLog(log_path, host=log_host)
     log.emit(
         {
             "event": "campaign-start",
@@ -264,6 +396,11 @@ def execute_cells(
     if checkpoint is not None and resume:
         checkpoint.load()
 
+    # Entered/exited manually so the large body below keeps its
+    # indentation; semantically a ``with _SignalGuard():`` around the
+    # whole execution.
+    guard = _SignalGuard()
+    guard.__enter__()
     try:
         # ---- Phase 1: cache / checkpoint recovery --------------------
         for index, spec in enumerate(cells):
@@ -309,6 +446,8 @@ def execute_cells(
                 failures[index] = CampaignError(spec, exc, 0)
                 stats.quarantined += 1
                 stats.failed += 1
+                if on_failure is not None:
+                    on_failure(index, spec, exc, "quarantined")
                 log.emit(
                     _cell_event(
                         "quarantined-skip", spec, key=key_of(index)
@@ -384,6 +523,8 @@ def execute_cells(
                 )
             )
             failures[index] = CampaignError(spec, exc, attempts[index])
+            if on_failure is not None:
+                on_failure(index, spec, exc, classification)
 
         def _after_failure(index: int, exc: BaseException):
             """Account one failed attempt; returns ``("fail", cls)`` or
@@ -452,7 +593,16 @@ def execute_cells(
         if failures and failure_mode == "raise":
             raise failures[min(failures)]
         return list(results), stats
+    except CampaignInterrupted as exc:
+        # Graceful shutdown: record the interruption, then let the
+        # ``finally`` below flush the checkpoint and close the log
+        # before the signal propagates.
+        log.emit({"event": "interrupted", "name": name, "signal": exc.signum})
+        raise
     finally:
+        guard.__exit__()
+        if checkpoint is not None:
+            checkpoint.flush()
         log.close()
 
 
@@ -639,6 +789,13 @@ def _supervise_pool(
                         waiting.append((now, index))
                 supervisor_kill = False
                 respawn()
+    except BaseException:
+        # An interrupt (SIGTERM/SIGINT via CampaignInterrupted) or an
+        # engine bug is unwinding the campaign; without this, running
+        # pool workers would survive the orchestrating process as
+        # orphans still burning CPU on cells nobody will collect.
+        _kill_pool_workers(pool)
+        raise
     finally:
         pool.shutdown(wait=False)
 
@@ -681,7 +838,30 @@ class Campaign:
         failure_mode: str = "raise",
         log_path: Optional[Union[str, Path]] = None,
         on_result: Optional[Callable] = None,
+        hosts: Optional[str] = None,
     ):
+        if hosts:
+            # Distributed path: shard the cells across worker hosts via
+            # the campaign service (``local:N`` spawns an ephemeral
+            # localhost cluster; ``host:port`` submits to a running
+            # orchestrator).  See docs/service.md.
+            from .service import run_hosted
+
+            payloads, stats = run_hosted(
+                self.cells,
+                hosts,
+                name=self.name,
+                cache_dir=cache_dir,
+                workers=workers,
+                timeout=timeout,
+                max_retries=max_retries,
+                resume=resume,
+                failure_mode=failure_mode,
+                log_path=log_path,
+                on_result=on_result,
+            )
+            self.last_stats = stats
+            return self.reducer(payloads) if self.reducer is not None else payloads
         cache = None
         if cache_dir is not None:
             cache = CellCache(cache_dir)

@@ -1,0 +1,49 @@
+"""Fault-tolerant distributed campaign service.
+
+A sharded orchestrator (leases, heartbeats, work-stealing) plus TCP
+worker hosts that wrap the supervised single-host engine unchanged.
+See ``docs/service.md`` for the protocol and the failure model;
+results are bit-identical to single-host runs because cells are pure
+functions of their specs and the shared store is content-addressed.
+
+Front doors: ``repro.cli serve`` / ``repro.cli work`` run the pieces
+standalone; ``Campaign.run(hosts=...)`` (or ``--hosts`` on any
+campaign CLI) routes an existing experiment through the service.
+"""
+
+from .client import (
+    LocalCluster,
+    ServiceError,
+    execute_cells_remote,
+    run_hosted,
+)
+from .orchestrator import Orchestrator
+from .protocol import LINE_LIMIT, VERSION, ProtocolError, parse_address
+from .store import (
+    FilesystemStore,
+    MemoryStore,
+    ResultStore,
+    host_log_path,
+    merged_events,
+)
+from .worker import WorkerError, WorkerHost, run_worker
+
+__all__ = [
+    "FilesystemStore",
+    "LINE_LIMIT",
+    "LocalCluster",
+    "MemoryStore",
+    "Orchestrator",
+    "ProtocolError",
+    "ResultStore",
+    "ServiceError",
+    "VERSION",
+    "WorkerError",
+    "WorkerHost",
+    "execute_cells_remote",
+    "host_log_path",
+    "merged_events",
+    "parse_address",
+    "run_hosted",
+    "run_worker",
+]

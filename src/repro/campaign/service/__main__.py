@@ -1,0 +1,12 @@
+"""``python -m repro.campaign.service`` runs a worker host.
+
+A separate ``__main__`` module (rather than running ``.worker``
+directly) keeps runpy from re-executing a module the package
+``__init__`` already imported.  The orchestrator front door is
+``python -m repro.cli serve``.
+"""
+
+from .worker import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,326 @@
+"""Client side of the campaign service.
+
+:func:`execute_cells_remote` is the service twin of
+:func:`~repro.campaign.engine.execute_cells`: same cells in, same
+``(payloads_in_declared_order, stats)`` out — the distribution is
+invisible to the caller, and because cells are pure functions of their
+specs the payloads are bit-identical to a single-host run.
+
+:class:`LocalCluster` spins up an ephemeral service on this machine
+(orchestrator on a background thread, worker hosts as subprocesses);
+:func:`run_hosted` is the ``Campaign.run(hosts=...)`` entry point that
+picks between an ephemeral ``local:N`` cluster and an already-running
+``host:port`` service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from ..cache import Payload, code_salt, decode_payload
+from ..engine import CampaignError, CampaignStats
+from ..spec import CellSpec
+from . import protocol
+from .orchestrator import Orchestrator
+from .store import FilesystemStore, MemoryStore, ResultStore
+
+
+class ServiceError(RuntimeError):
+    """The service refused the request (salt mismatch, protocol error)."""
+
+
+def execute_cells_remote(
+    cells: Sequence[CellSpec],
+    address: Union[str, Tuple[str, int]],
+    *,
+    name: str = "campaign",
+    resume: bool = True,
+    failure_mode: str = "raise",
+    on_result: Optional[Callable[[int, CellSpec, Payload, bool], None]] = None,
+) -> Tuple[List[Optional[Payload]], CampaignStats]:
+    """Run ``cells`` on the service at ``address``.
+
+    Submits the cells as canonical spec JSON, streams back per-cell
+    results (store hits first, then completions in arrival order) and
+    reassembles the declared order.  ``failure_mode="raise"`` raises
+    :class:`CampaignError` on the first failed cell, exactly like the
+    single-host engine; ``"continue"`` leaves ``None`` holes.
+    """
+    if failure_mode not in ("raise", "continue"):
+        raise ValueError(f"unknown failure_mode {failure_mode!r}")
+    if isinstance(address, str):
+        address = protocol.parse_address(address)
+    host, port = address
+    cells = list(cells)
+    started = time.monotonic()
+    stats = CampaignStats(total=len(cells))
+    payloads: List[Optional[Payload]] = [None] * len(cells)
+
+    async def _run() -> None:
+        reader, writer = await protocol.open_connection(host, port)
+        try:
+            await protocol.send(
+                writer,
+                {
+                    "type": "hello",
+                    "role": "client",
+                    "salt": code_salt(),
+                    "version": protocol.VERSION,
+                },
+            )
+            await protocol.send(
+                writer,
+                {
+                    "type": "submit",
+                    "name": name,
+                    "resume": resume,
+                    "cells": [spec.canonical() for spec in cells],
+                },
+            )
+            while True:
+                message = await protocol.recv(reader)
+                if message is None:
+                    raise ServiceError(
+                        "service went away mid-campaign "
+                        f"({stats.hits + stats.executed + stats.failed}"
+                        f"/{stats.total} cells reported)"
+                    )
+                kind = message.get("type")
+                if kind == "error":
+                    raise ServiceError(message.get("error", "refused"))
+                if kind == "done":
+                    stats.service = message.get("service", {})  # type: ignore[attr-defined]
+                    return
+                if kind != "cell":
+                    raise protocol.ProtocolError(
+                        f"unexpected service message {kind!r}"
+                    )
+                index = int(message["index"])
+                status = message["status"]
+                spec = cells[index]
+                if status in ("hit", "done"):
+                    payload = decode_payload(message["payload"])
+                    payloads[index] = payload
+                    if status == "hit":
+                        stats.hits += 1
+                    else:
+                        stats.executed += 1
+                    if on_result is not None:
+                        on_result(index, spec, payload, status == "hit")
+                else:
+                    stats.failed += 1
+                    cause = RuntimeError(
+                        f"[{message.get('classification', 'unknown')}] "
+                        f"{message.get('error', 'unknown failure')}"
+                    )
+                    if failure_mode == "raise":
+                        raise CampaignError(spec, cause, 1)
+        finally:
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    asyncio.run(_run())
+    stats.elapsed = time.monotonic() - started
+    return payloads, stats
+
+
+class LocalCluster:
+    """An ephemeral local service: in-process orchestrator plus worker
+    subprocesses.
+
+    The orchestrator runs on a daemon thread with its own event loop;
+    each worker host is a real ``python -m repro.campaign.service``
+    subprocess, so chaos tests can SIGKILL one exactly as a machine
+    failure would.  Use as a context manager::
+
+        with LocalCluster(3, cache_dir=cache) as cluster:
+            payloads, stats = execute_cells_remote(cells, cluster.address)
+    """
+
+    def __init__(
+        self,
+        num_workers: int,
+        *,
+        cache_dir: Optional[Union[str, Path]] = None,
+        store: Optional[ResultStore] = None,
+        capacity: int = 1,
+        timeout: Optional[float] = None,
+        max_retries: Optional[int] = 2,
+        lease_duration: float = 20.0,
+        heartbeat_interval: float = 0.5,
+        miss_limit: int = 3,
+        log_path: Optional[Union[str, Path]] = None,
+        name: str = "local-cluster",
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("a cluster needs at least one worker host")
+        if store is None:
+            store = (
+                FilesystemStore(cache_dir)
+                if cache_dir is not None
+                else MemoryStore()
+            )
+        self.num_workers = num_workers
+        self.capacity = max(1, capacity)
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.log_path = Path(log_path) if log_path is not None else None
+        self.orchestrator = Orchestrator(
+            store,
+            lease_duration=lease_duration,
+            heartbeat_interval=heartbeat_interval,
+            miss_limit=miss_limit,
+            log_path=str(self.log_path) if self.log_path else None,
+            name=name,
+        )
+        self.workers: List[subprocess.Popen] = []
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> str:
+        return self.orchestrator.address
+
+    def start(self) -> "LocalCluster":
+        started = threading.Event()
+
+        def _serve() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            loop.run_until_complete(self.orchestrator.start())
+            started.set()
+            loop.run_until_complete(self.orchestrator.serve_forever())
+            loop.close()
+
+        self._thread = threading.Thread(
+            target=_serve, name="campaign-orchestrator", daemon=True
+        )
+        self._thread.start()
+        if not started.wait(timeout=10.0):  # pragma: no cover - defensive
+            raise RuntimeError("orchestrator failed to start")
+        for index in range(self.num_workers):
+            self.workers.append(self.spawn_worker(f"w{index}"))
+        # A worker that dies this fast is a launch bug (bad argv, import
+        # error); fail loudly instead of letting a campaign hang on a
+        # cluster that will never produce results.
+        time.sleep(0.2)
+        dead = [p.poll() for p in self.workers if p.poll() is not None]
+        if len(dead) == len(self.workers):
+            self.stop()
+            raise RuntimeError(
+                f"all {len(dead)} worker hosts exited at launch "
+                f"(exit codes {dead})"
+            )
+        return self
+
+    def spawn_worker(self, name: str) -> subprocess.Popen:
+        """Start one worker-host subprocess dialed into this cluster."""
+        command = [
+            sys.executable,
+            "-m",
+            "repro.campaign.service",
+            "--connect",
+            self.address,
+            "--name",
+            name,
+            "--capacity",
+            str(self.capacity),
+            "--reconnect",
+            "3",
+        ]
+        if self.max_retries is not None:
+            command += ["--max-retries", str(self.max_retries)]
+        if self.timeout is not None:
+            command += ["--timeout", str(self.timeout)]
+        if self.log_path is not None:
+            command += ["--log-dir", str(self.log_path.parent)]
+        env = os.environ.copy()
+        src_root = str(Path(__file__).resolve().parents[3])
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        return subprocess.Popen(command, env=env)
+
+    def stop(self) -> None:
+        for proc in self.workers:
+            if proc.poll() is None:
+                proc.terminate()
+        for proc in self.workers:
+            try:
+                proc.wait(timeout=10.0)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                proc.kill()
+                proc.wait()
+        if self._loop is not None and self._thread is not None:
+            # serve_forever performs the full shutdown before returning,
+            # so signalling is all the other thread needs from us.
+            self._loop.call_soon_threadsafe(self.orchestrator.signal_stop)
+            self._thread.join(timeout=10.0)
+
+    def __enter__(self) -> "LocalCluster":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def run_hosted(
+    cells: Sequence[CellSpec],
+    hosts: str,
+    *,
+    name: str = "campaign",
+    cache_dir: Optional[Union[str, Path]] = None,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    max_retries: Optional[int] = 2,
+    resume: bool = True,
+    failure_mode: str = "raise",
+    log_path: Optional[Union[str, Path]] = None,
+    on_result: Optional[Callable[[int, CellSpec, Payload, bool], None]] = None,
+) -> Tuple[List[Optional[Payload]], CampaignStats]:
+    """``Campaign.run(hosts=...)`` back end.
+
+    ``hosts="local:N"`` stands up an ephemeral :class:`LocalCluster`
+    of N worker subprocesses (each running a ``workers``-wide engine
+    pool) for just this campaign; any other value is the ``host:port``
+    of an already-running service (``repro.cli serve``), in which case
+    the execution knobs (``workers``/``timeout``/``max_retries``/
+    ``cache_dir``) belong to the service, not this call.
+    """
+    if hosts.startswith("local:"):
+        count = int(hosts.split(":", 1)[1])
+        with LocalCluster(
+            count,
+            cache_dir=cache_dir,
+            capacity=max(1, workers),
+            timeout=timeout,
+            max_retries=max_retries,
+            log_path=log_path,
+            name=name,
+        ) as cluster:
+            return execute_cells_remote(
+                cells,
+                cluster.address,
+                name=name,
+                resume=resume,
+                failure_mode=failure_mode,
+                on_result=on_result,
+            )
+    return execute_cells_remote(
+        cells,
+        hosts,
+        name=name,
+        resume=resume,
+        failure_mode=failure_mode,
+        on_result=on_result,
+    )

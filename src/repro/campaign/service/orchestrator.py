@@ -1,0 +1,890 @@
+"""The campaign orchestrator: sharding, leases, heartbeats, stealing.
+
+One asyncio process owns the authoritative campaign state and the
+single write path into the shared :class:`ResultStore`.  Worker hosts
+and clients dial in over TCP (see :mod:`.protocol`); everything below
+runs on one event loop, so no locks guard the scheduler state.
+
+Scheduling model
+----------------
+
+* **Sharding** — cold cells are partitioned over the connected worker
+  hosts by spec hash (``int(key, 16) % num_hosts`` over the sorted
+  host names), so a re-submitted campaign lands on the same shards and
+  cache-affinity is stable.  Cells submitted while no host is
+  connected wait in an unassigned backlog and are sharded on arrival
+  of the first host.
+* **Leases** — a granted cell carries a time-bounded lease.  Every
+  heartbeat from the owning host that still lists the lease renews it;
+  a lease whose deadline passes (host wedged, heartbeats lost, or the
+  host silently dropped the cell) is requeued for anyone else.  The
+  original host may still finish and report — the **dedup** rule makes
+  that benign: the first valid payload for a key wins, later ones are
+  logged as duplicates and discarded (payloads are pure functions of
+  the spec, so both are bit-identical anyway).
+* **Heartbeats** — a host that misses :attr:`miss_limit` consecutive
+  heartbeat intervals is declared dead: its leases requeue immediately
+  and its next connection pays an exponentially growing reconnect
+  penalty (doubling per death, capped), mirroring the wakeup
+  retry/backoff state machine of ``powergate/controller.py``.
+* **Work-stealing** — a host whose own shard queue is empty steals
+  unleased cells from the host with the largest backlog (the slowest
+  shard), keeping stragglers from serializing the tail of a campaign.
+
+Results stream back to submitting clients incrementally (hits first,
+then completions in arrival order); the client reassembles declared
+order.  Every scheduling action lands in the orchestrator's JSONL
+event log (host ``orchestrator``), which merges deterministically
+with the per-host worker logs (see :func:`.store.merged_events`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ..cache import decode_payload, encode_payload
+from ..engine import EventLog
+from ..spec import CellSpec
+from . import protocol
+from .store import MemoryStore, ResultStore
+
+#: Scheduler defaults; tests and local clusters tighten them.
+LEASE_DURATION = 30.0
+HEARTBEAT_INTERVAL = 2.0
+MISS_LIMIT = 3
+RECONNECT_BACKOFF_BASE = 0.5
+RECONNECT_BACKOFF_CAP = 30.0
+
+
+class _Host:
+    """Orchestrator-side record of one worker host."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.writer: Optional[asyncio.StreamWriter] = None
+        self.send_lock = asyncio.Lock()
+        self.connected = False
+        self.last_heartbeat = 0.0
+        #: Keys currently leased to this host, by lease id.
+        self.leases: Dict[str, str] = {}
+        #: Times this host has been declared dead (drives the
+        #: exponential reconnect backoff, wakeup-retry style).
+        self.deaths = 0
+        self.penalty_until = 0.0
+        #: Cells completed by this host (throughput accounting).
+        self.completed = 0
+
+    def backoff(self) -> float:
+        """Reconnect penalty after ``deaths`` deaths: doubling, capped."""
+        if self.deaths == 0:
+            return 0.0
+        return min(
+            RECONNECT_BACKOFF_CAP,
+            RECONNECT_BACKOFF_BASE * (2.0 ** (self.deaths - 1)),
+        )
+
+
+class _Cell:
+    """Scheduler state of one distinct (content-addressed) cell."""
+
+    __slots__ = (
+        "key", "spec", "status", "shard", "payload", "error",
+        "classification", "lease_id", "lease_host", "lease_deadline",
+        "waiters", "requeues",
+    )
+
+    def __init__(self, key: str, spec: CellSpec) -> None:
+        self.key = key
+        self.spec = spec
+        self.status = "cold"  # cold | leased | done | failed
+        self.shard: Optional[str] = None
+        self.payload: Optional[dict] = None  # encoded form
+        self.error: Optional[str] = None
+        self.classification: Optional[str] = None
+        self.lease_id: Optional[str] = None
+        self.lease_host: Optional[str] = None
+        self.lease_deadline = 0.0
+        #: ``(campaign, index)`` pairs awaiting this key.
+        self.waiters: List[Tuple["_CampaignRun", int]] = []
+        self.requeues = 0
+
+
+class _CampaignRun:
+    """One submitted campaign and its result stream."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        name: str,
+        total: int,
+        writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
+    ) -> None:
+        self.id = next(self._ids)
+        self.name = name
+        self.total = total
+        self.writer = writer
+        self.send_lock = send_lock
+        self.remaining = total
+        self.hits = 0
+        self.executed = 0
+        self.failed = 0
+        self.closed = False
+
+
+class Orchestrator:
+    """The sharded campaign service (see module docstring)."""
+
+    def __init__(
+        self,
+        store: Optional[ResultStore] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        lease_duration: float = LEASE_DURATION,
+        heartbeat_interval: float = HEARTBEAT_INTERVAL,
+        miss_limit: int = MISS_LIMIT,
+        log_path: Optional[str] = None,
+        name: str = "service",
+    ) -> None:
+        if lease_duration <= 0 or heartbeat_interval <= 0:
+            raise ValueError("lease_duration and heartbeat_interval must be > 0")
+        self.store = store if store is not None else MemoryStore()
+        self.bind_host = host
+        self.port = port
+        self.lease_duration = lease_duration
+        self.heartbeat_interval = heartbeat_interval
+        self.miss_limit = miss_limit
+        self.name = name
+        self.log = EventLog(log_path, host="orchestrator")
+        self.hosts: Dict[str, _Host] = {}
+        self.cells: Dict[str, _Cell] = {}
+        #: Per-host shard queues of cold keys, plus the pre-host backlog.
+        self.queues: Dict[str, List[str]] = {}
+        self.unassigned: List[str] = []
+        self.stats = {
+            "leases": 0, "steals": 0, "requeues": 0, "duplicates": 0,
+            "expired": 0, "dead_hosts": 0, "completed": 0, "failed": 0,
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._monitor: Optional[asyncio.Task] = None
+        self._connections: Set[asyncio.Task] = set()
+        self._closed = False
+        self._lease_ids = itertools.count(1)
+        # Created inside the running loop (3.9 binds primitives at
+        # construction time).
+        self._stopped: Optional[asyncio.Event] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the server and start the lease/heartbeat monitor."""
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            self.bind_host,
+            self.port,
+            limit=protocol.LINE_LIMIT,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._monitor = asyncio.ensure_future(self._monitor_loop())
+        self.log.emit(
+            {
+                "event": "service-start",
+                "name": self.name,
+                "port": self.port,
+                "salt": self.store.salt,
+                "lease_duration": self.lease_duration,
+                "heartbeat_interval": self.heartbeat_interval,
+                "miss_limit": self.miss_limit,
+            }
+        )
+
+    @property
+    def address(self) -> str:
+        return f"{self.bind_host}:{self.port}"
+
+    async def serve_forever(self) -> None:
+        """Serve until :meth:`signal_stop` / :meth:`stop`, then shut
+        down cleanly (the shutdown runs *before* this returns, so the
+        caller may close the loop immediately after)."""
+        if self._server is None:
+            await self.start()
+        await self._stopped.wait()
+        await self._shutdown()
+
+    def signal_stop(self) -> None:
+        """Ask ``serve_forever`` to exit.  Must run on the service's
+        loop — from another thread, go through ``call_soon_threadsafe``."""
+        if self._stopped is not None:
+            self._stopped.set()
+
+    async def stop(self) -> None:
+        self.signal_stop()
+        await self._shutdown()
+
+    async def _shutdown(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._monitor is not None:
+            self._monitor.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        self.log.emit({"event": "service-stop", "name": self.name})
+        self.log.close()
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        send_lock = asyncio.Lock()
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            hello = await protocol.recv(reader)
+            if hello is None:
+                return
+            if hello.get("type") != "hello":
+                await protocol.send(
+                    writer, {"type": "error", "error": "expected hello"}
+                )
+                return
+            if hello.get("salt") != self.store.salt:
+                await protocol.send(
+                    writer,
+                    {
+                        "type": "error",
+                        "error": "code-salt mismatch: peer runs different "
+                        f"simulator sources (service salt {self.store.salt})",
+                    },
+                )
+                return
+            role = hello.get("role")
+            if role == "worker":
+                await self._worker_session(hello, reader, writer, send_lock)
+            elif role == "client":
+                await self._client_session(hello, reader, writer, send_lock)
+            else:
+                await protocol.send(
+                    writer, {"type": "error", "error": f"unknown role {role!r}"}
+                )
+        except (
+            protocol.ProtocolError,
+            ConnectionError,
+            asyncio.IncompleteReadError,
+        ):
+            pass
+        except asyncio.CancelledError:
+            # Service shutdown with the session still open: worker and
+            # client sessions clean up in their own finallys; ending
+            # the task normally keeps the streams teardown quiet.
+            pass
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            try:
+                writer.close()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    # ------------------------------------------------------------------
+    # Worker sessions
+    # ------------------------------------------------------------------
+    async def _worker_session(
+        self,
+        hello: dict,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
+    ) -> None:
+        name = str(hello.get("host", "")) or f"host-{id(writer) & 0xFFFF:x}"
+        capacity = max(1, int(hello.get("capacity", 1)))
+        record = self.hosts.get(name)
+        if record is not None and record.connected:
+            await protocol.send(
+                writer,
+                {"type": "error", "error": f"host name {name!r} already connected"},
+            )
+            return
+        if record is None:
+            record = self.hosts[name] = _Host(name, capacity)
+        record.capacity = capacity
+        record.writer = writer
+        record.send_lock = send_lock
+        record.connected = True
+        record.last_heartbeat = self._now()
+        if record.deaths:
+            record.penalty_until = self._now() + record.backoff()
+        self.queues.setdefault(name, [])
+        self.log.emit(
+            {
+                "event": "host-join",
+                "host_name": name,
+                "capacity": capacity,
+                "deaths": record.deaths,
+                "penalty": round(max(0.0, record.penalty_until - self._now()), 3),
+            }
+        )
+        await self._send_host(
+            record,
+            {
+                "type": "welcome",
+                "name": self.name,
+                "heartbeat_interval": self.heartbeat_interval,
+                "lease_duration": self.lease_duration,
+            },
+        )
+        self._assign_backlog()
+        try:
+            while True:
+                message = await protocol.recv(reader)
+                if message is None:
+                    break
+                kind = message["type"]
+                if kind == "request":
+                    await self._grant(record, int(message.get("slots", 1)))
+                elif kind == "heartbeat":
+                    self._heartbeat(record, message)
+                elif kind == "result":
+                    await self._on_result(record, message)
+                elif kind == "failure":
+                    await self._on_failure(record, message)
+                else:
+                    raise protocol.ProtocolError(
+                        f"unexpected worker message {kind!r}"
+                    )
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            await self._host_gone(record, reason="disconnect")
+
+    async def _grant(self, record: _Host, slots: int) -> None:
+        """Grant up to ``slots`` leases to a requesting host."""
+        now = self._now()
+        granted = 0
+        slots = max(0, min(slots, record.capacity - len(record.leases)))
+        if now < record.penalty_until:
+            # Reconnect backoff: a recently dead host waits before it
+            # is trusted with leases again (wakeup-retry style).
+            await self._send_host(
+                record,
+                {
+                    "type": "grant-end",
+                    "granted": 0,
+                    "retry_after": round(record.penalty_until - now, 3),
+                },
+            )
+            return
+        while granted < slots:
+            key, stolen_from = self._next_cell_for(record.name)
+            if key is None:
+                break
+            cell = self.cells[key]
+            lease_id = f"L{next(self._lease_ids)}"
+            cell.status = "leased"
+            cell.lease_id = lease_id
+            cell.lease_host = record.name
+            cell.lease_deadline = now + self.lease_duration
+            record.leases[lease_id] = key
+            self.stats["leases"] += 1
+            if stolen_from is not None:
+                self.stats["steals"] += 1
+                self.log.emit(
+                    {
+                        "event": "steal",
+                        "host_name": record.name,
+                        "victim": stolen_from,
+                        "key": key,
+                        "label": cell.spec.label,
+                    }
+                )
+            self.log.emit(
+                {
+                    "event": "lease",
+                    "host_name": record.name,
+                    "key": key,
+                    "label": cell.spec.label,
+                    "lease_id": lease_id,
+                    "stolen": stolen_from is not None,
+                    "requeues": cell.requeues,
+                }
+            )
+            await self._send_host(
+                record,
+                {
+                    "type": "lease",
+                    "lease_id": lease_id,
+                    "key": key,
+                    "spec": cell.spec.canonical(),
+                },
+            )
+            granted += 1
+        await self._send_host(
+            record, {"type": "grant-end", "granted": granted}
+        )
+
+    def _next_cell_for(self, name: str) -> Tuple[Optional[str], Optional[str]]:
+        """The next cold key for host ``name``: own shard first, then
+        stolen from the slowest shard.  Returns ``(key, stolen_from)``."""
+        own = self.queues.get(name, [])
+        while own:
+            key = own.pop(0)
+            if self.cells[key].status == "cold":
+                return key, None
+        # Steal from the host with the largest cold backlog.
+        victim, backlog = None, 0
+        for other, queue in self.queues.items():
+            if other == name:
+                continue
+            cold = sum(1 for k in queue if self.cells[k].status == "cold")
+            if cold > backlog:
+                victim, backlog = other, cold
+        if victim is not None:
+            queue = self.queues[victim]
+            while queue:
+                key = queue.pop(0)
+                if self.cells[key].status == "cold":
+                    return key, victim
+        while self.unassigned:
+            key = self.unassigned.pop(0)
+            if self.cells[key].status == "cold":
+                return key, None
+        return None, None
+
+    def _heartbeat(self, record: _Host, message: dict) -> None:
+        now = self._now()
+        record.last_heartbeat = now
+        running = [str(x) for x in message.get("running", ())]
+        renewed = 0
+        for lease_id in running:
+            key = record.leases.get(lease_id)
+            if key is None:
+                continue
+            cell = self.cells.get(key)
+            if cell is not None and cell.lease_id == lease_id:
+                cell.lease_deadline = now + self.lease_duration
+                renewed += 1
+        self.log.emit(
+            {
+                "event": "heartbeat",
+                "host_name": record.name,
+                "seq_no": message.get("seq"),
+                "running": len(running),
+                "renewed": renewed,
+            }
+        )
+
+    async def _on_result(self, record: _Host, message: dict) -> None:
+        key = str(message.get("key"))
+        lease_id = str(message.get("lease_id"))
+        record.leases.pop(lease_id, None)
+        cell = self.cells.get(key)
+        if cell is None:
+            return
+        if cell.status in ("done", "failed"):
+            # Stolen-and-original double completion: first valid
+            # payload won; this one is bit-identical by construction
+            # (pure function of the spec) and is simply dropped.
+            self.stats["duplicates"] += 1
+            self.log.emit(
+                {
+                    "event": "duplicate-result",
+                    "host_name": record.name,
+                    "key": key,
+                    "label": cell.spec.label,
+                }
+            )
+            return
+        encoded = message.get("payload")
+        try:
+            payload = decode_payload(encoded)
+        except (KeyError, TypeError, ValueError):
+            # An invalid payload does not win: requeue the cell.
+            self._release_lease(cell)
+            self._requeue(cell, reason="invalid-payload")
+            return
+        self._release_lease(cell)
+        cell.status = "done"
+        cell.payload = encoded
+        record.completed += 1
+        self.stats["completed"] += 1
+        self.store.put(cell.spec, payload)
+        self.log.emit(
+            {
+                "event": "result",
+                "host_name": record.name,
+                "key": key,
+                "label": cell.spec.label,
+                "elapsed": message.get("elapsed"),
+            }
+        )
+        await self._deliver(cell)
+
+    async def _on_failure(self, record: _Host, message: dict) -> None:
+        key = str(message.get("key"))
+        lease_id = str(message.get("lease_id"))
+        record.leases.pop(lease_id, None)
+        cell = self.cells.get(key)
+        if cell is None or cell.status in ("done", "failed"):
+            return
+        self._release_lease(cell)
+        cell.status = "failed"
+        cell.error = str(message.get("error", "unknown failure"))
+        cell.classification = str(message.get("classification", "unknown"))
+        self.stats["failed"] += 1
+        self.log.emit(
+            {
+                "event": "cell-failed",
+                "host_name": record.name,
+                "key": key,
+                "label": cell.spec.label,
+                "classification": cell.classification,
+                "error": cell.error,
+            }
+        )
+        await self._deliver(cell)
+
+    async def _host_gone(self, record: _Host, *, reason: str) -> None:
+        if not record.connected:
+            return
+        record.connected = False
+        record.writer = None
+        requeued = self._requeue_host_leases(record)
+        if requeued:
+            # The host died holding work: charge a death so its next
+            # connection pays the doubled (capped) reconnect penalty.
+            record.deaths += 1
+            self.stats["dead_hosts"] += 1
+        self.log.emit(
+            {
+                "event": "host-leave",
+                "host_name": record.name,
+                "reason": reason,
+                "requeued": requeued,
+                "deaths": record.deaths,
+            }
+        )
+
+    def _requeue_host_leases(self, record: _Host) -> int:
+        requeued = 0
+        for lease_id, key in list(record.leases.items()):
+            cell = self.cells.get(key)
+            if cell is not None and cell.status == "leased":
+                self._release_lease(cell)
+                self._requeue(cell, reason="host-gone")
+                requeued += 1
+        record.leases.clear()
+        return requeued
+
+    def _release_lease(self, cell: _Cell) -> None:
+        cell.lease_id = None
+        cell.lease_host = None
+        cell.lease_deadline = 0.0
+
+    def _requeue(self, cell: _Cell, *, reason: str) -> None:
+        cell.status = "cold"
+        cell.requeues += 1
+        self.stats["requeues"] += 1
+        shard = cell.shard
+        if shard is not None and shard in self.queues:
+            self.queues[shard].append(cell.key)
+        else:
+            self.unassigned.append(cell.key)
+        self.log.emit(
+            {
+                "event": "requeue",
+                "key": cell.key,
+                "label": cell.spec.label,
+                "reason": reason,
+                "requeues": cell.requeues,
+            }
+        )
+        self._poke_soon()
+
+    # ------------------------------------------------------------------
+    # Client sessions
+    # ------------------------------------------------------------------
+    async def _client_session(
+        self,
+        hello: dict,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
+    ) -> None:
+        campaign: Optional[_CampaignRun] = None
+        try:
+            while True:
+                message = await protocol.recv(reader)
+                if message is None:
+                    break
+                if message["type"] != "submit":
+                    raise protocol.ProtocolError(
+                        f"unexpected client message {message['type']!r}"
+                    )
+                campaign = await self._submit(message, writer, send_lock)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if campaign is not None:
+                campaign.closed = True
+                self._forget_waiters(campaign)
+
+    async def _submit(
+        self,
+        message: dict,
+        writer: asyncio.StreamWriter,
+        send_lock: asyncio.Lock,
+    ) -> _CampaignRun:
+        name = str(message.get("name", "campaign"))
+        resume = bool(message.get("resume", True))
+        docs = message.get("cells", [])
+        campaign = _CampaignRun(name, len(docs), writer, send_lock)
+        hits = 0
+        cold = 0
+        shared = 0
+        for index, doc in enumerate(docs):
+            spec = CellSpec.from_canonical(doc)
+            key = self.store.key_for(spec)
+            cell = self.cells.get(key)
+            if cell is not None and cell.status == "done" and resume:
+                await self._send_cell(
+                    campaign, index, "hit", payload=cell.payload
+                )
+                hits += 1
+                continue
+            if cell is not None and cell.status == "failed" and resume:
+                await self._send_cell(
+                    campaign,
+                    index,
+                    "failed",
+                    error=cell.error,
+                    classification=cell.classification,
+                )
+                continue
+            if resume:
+                payload = self.store.get(spec)
+                if payload is not None:
+                    encoded = encode_payload(payload)
+                    cached = self.cells.get(key)
+                    if cached is None:
+                        cached = self.cells[key] = _Cell(key, spec)
+                    cached.status = "done"
+                    cached.payload = encoded
+                    await self._send_cell(
+                        campaign, index, "hit", payload=encoded
+                    )
+                    hits += 1
+                    continue
+            if cell is None or cell.status in ("done", "failed"):
+                # (done/failed but resume=False: recompute fresh)
+                cell = self.cells[key] = _Cell(key, spec)
+                self._enqueue(cell)
+                cold += 1
+            else:
+                shared += 1  # already cold/leased for another campaign
+            cell.waiters.append((campaign, index))
+        self.log.emit(
+            {
+                "event": "submit",
+                "campaign": campaign.id,
+                "name": name,
+                "cells": len(docs),
+                "hits": hits,
+                "cold": cold,
+                "shared": shared,
+            }
+        )
+        if campaign.remaining == 0:
+            await self._send_done(campaign)
+        else:
+            self._poke_soon()
+        return campaign
+
+    def _enqueue(self, cell: _Cell) -> None:
+        """Shard a fresh cold cell over the connected hosts."""
+        names = sorted(n for n, h in self.hosts.items() if h.connected)
+        if not names:
+            cell.shard = None
+            self.unassigned.append(cell.key)
+            return
+        shard = names[int(cell.key[:16], 16) % len(names)]
+        cell.shard = shard
+        self.queues.setdefault(shard, []).append(cell.key)
+
+    def _assign_backlog(self) -> None:
+        """Shard any pre-host backlog now that a host is connected."""
+        backlog, self.unassigned = self.unassigned, []
+        for key in backlog:
+            cell = self.cells[key]
+            if cell.status == "cold":
+                self._enqueue(cell)
+
+    async def _deliver(self, cell: _Cell) -> None:
+        """Send a completed/failed cell to every waiting campaign."""
+        waiters, cell.waiters = cell.waiters, []
+        for campaign, index in waiters:
+            if campaign.closed:
+                continue
+            if cell.status == "done":
+                await self._send_cell(
+                    campaign, index, "done", payload=cell.payload
+                )
+            else:
+                await self._send_cell(
+                    campaign,
+                    index,
+                    "failed",
+                    error=cell.error,
+                    classification=cell.classification,
+                )
+
+    async def _send_cell(
+        self,
+        campaign: _CampaignRun,
+        index: int,
+        status: str,
+        payload: Optional[dict] = None,
+        error: Optional[str] = None,
+        classification: Optional[str] = None,
+    ) -> None:
+        message = {"type": "cell", "index": index, "status": status}
+        if payload is not None:
+            message["payload"] = payload
+        if error is not None:
+            message["error"] = error
+            message["classification"] = classification
+        if status == "hit":
+            campaign.hits += 1
+        elif status == "done":
+            campaign.executed += 1
+        else:
+            campaign.failed += 1
+        campaign.remaining -= 1
+        try:
+            async with campaign.send_lock:
+                await protocol.send(campaign.writer, message)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            campaign.closed = True
+        if campaign.remaining == 0 and not campaign.closed:
+            await self._send_done(campaign)
+
+    async def _send_done(self, campaign: _CampaignRun) -> None:
+        done = {
+            "type": "done",
+            "name": campaign.name,
+            "total": campaign.total,
+            "hits": campaign.hits,
+            "executed": campaign.executed,
+            "failed": campaign.failed,
+            "service": dict(self.stats),
+        }
+        self.log.emit(
+            {
+                "event": "campaign-done",
+                "campaign": campaign.id,
+                "name": campaign.name,
+                "hits": campaign.hits,
+                "executed": campaign.executed,
+                "failed": campaign.failed,
+            }
+        )
+        try:
+            async with campaign.send_lock:
+                await protocol.send(campaign.writer, done)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            campaign.closed = True
+
+    def _forget_waiters(self, campaign: _CampaignRun) -> None:
+        for cell in self.cells.values():
+            cell.waiters = [
+                (c, i) for c, i in cell.waiters if c is not campaign
+            ]
+
+    # ------------------------------------------------------------------
+    # Monitor: lease expiry and heartbeat lapse
+    # ------------------------------------------------------------------
+    async def _monitor_loop(self) -> None:
+        period = min(self.heartbeat_interval, self.lease_duration) / 2.0
+        while True:
+            await asyncio.sleep(period)
+            now = self._now()
+            # Heartbeat lapse: a host silent for miss_limit intervals
+            # is dead — requeue everything it holds at once.
+            for record in list(self.hosts.values()):
+                if not record.connected:
+                    continue
+                silent = now - record.last_heartbeat
+                if silent > self.miss_limit * self.heartbeat_interval:
+                    self.log.emit(
+                        {
+                            "event": "host-dead",
+                            "host_name": record.name,
+                            "silent": round(silent, 3),
+                            "missed": self.miss_limit,
+                            "backoff": record.backoff(),
+                        }
+                    )
+                    writer = record.writer
+                    await self._host_gone(record, reason="heartbeat-lapse")
+                    if writer is not None:
+                        try:
+                            writer.close()
+                        except Exception:  # pragma: no cover
+                            pass
+            # Lease expiry: individually wedged/lost cells requeue even
+            # while their host keeps heartbeating (it stopped listing
+            # the lease) or silently dropped it.
+            for cell in list(self.cells.values()):
+                if cell.status != "leased":
+                    continue
+                if cell.lease_deadline <= now:
+                    owner = self.hosts.get(cell.lease_host or "")
+                    if owner is not None and cell.lease_id is not None:
+                        owner.leases.pop(cell.lease_id, None)
+                    self.stats["expired"] += 1
+                    self.log.emit(
+                        {
+                            "event": "lease-expired",
+                            "host_name": cell.lease_host,
+                            "key": cell.key,
+                            "label": cell.spec.label,
+                        }
+                    )
+                    self._release_lease(cell)
+                    self._requeue(cell, reason="lease-expired")
+
+    def _poke_soon(self) -> None:
+        """Nudge idle connected hosts that new work is available."""
+        for record in self.hosts.values():
+            if record.connected and len(record.leases) < record.capacity:
+                asyncio.ensure_future(self._poke(record))
+
+    async def _poke(self, record: _Host) -> None:
+        await self._send_host(record, {"type": "poke"})
+
+    async def _send_host(self, record: _Host, message: dict) -> None:
+        writer = record.writer
+        if writer is None:
+            return
+        try:
+            async with record.send_lock:
+                await protocol.send(writer, message)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            await self._host_gone(record, reason="send-failed")
+
+    def _now(self) -> float:
+        return asyncio.get_running_loop().time()

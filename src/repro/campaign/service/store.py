@@ -1,0 +1,110 @@
+"""Shared result store of the campaign service.
+
+The orchestrator is the single write path for campaign results; the
+store behind it is pluggable.  :class:`FilesystemStore` wraps today's
+content-addressed :class:`~repro.campaign.cache.CellCache` (so a
+service campaign and a single-host campaign share cache entries
+bit-for-bit, and a warm service rerun answers every cell without
+scheduling any work); :class:`MemoryStore` backs cache-less runs and
+tests.  An object-store backend later only needs the same four
+methods.
+
+Event streams: the orchestrator and every worker host write their own
+JSONL logs (stamped with ``host`` and per-host ``seq`` by
+:class:`~repro.campaign.engine.EventLog`); ``merged_events`` collects
+the service's logs into one deterministic stream.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..cache import CellCache, Payload, code_salt, decode_payload, encode_payload
+from ..engine import merge_event_streams
+from ..spec import CellSpec
+
+
+class ResultStore:
+    """Interface every service store backend implements.
+
+    Keys are the same content addresses the single-host engine uses
+    (``spec.cache_key(salt)``), so any two backends loaded with the
+    same results agree on every lookup.
+    """
+
+    salt: str
+
+    def key_for(self, spec: CellSpec) -> str:
+        return spec.cache_key(self.salt)
+
+    def get(self, spec: CellSpec) -> Optional[Payload]:  # pragma: no cover
+        raise NotImplementedError
+
+    def put(self, spec: CellSpec, payload: Payload) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class FilesystemStore(ResultStore):
+    """The default backend: a directory-backed :class:`CellCache`."""
+
+    def __init__(
+        self, root: Union[str, Path], salt: Optional[str] = None
+    ) -> None:
+        self.cache = CellCache(root, salt)
+        self.salt = self.cache.salt
+        self.root = self.cache.root
+
+    def get(self, spec: CellSpec) -> Optional[Payload]:
+        return self.cache.get(spec)
+
+    def put(self, spec: CellSpec, payload: Payload) -> None:
+        self.cache.put(spec, payload)
+
+
+class MemoryStore(ResultStore):
+    """In-memory backend for cache-less campaigns and tests.
+
+    Payloads are kept in their encoded (JSON-ready) form so a
+    round-trip through this store is bit-identical to a round-trip
+    through the filesystem backend.
+    """
+
+    def __init__(self, salt: Optional[str] = None) -> None:
+        self.salt = code_salt() if salt is None else salt
+        self._entries: Dict[str, dict] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, spec: CellSpec) -> Optional[Payload]:
+        doc = self._entries.get(self.key_for(spec))
+        if doc is None:
+            return None
+        return decode_payload(doc)
+
+    def put(self, spec: CellSpec, payload: Payload) -> None:
+        self._entries[self.key_for(spec)] = encode_payload(payload)
+
+
+def host_log_path(base: Union[str, Path], host: str) -> Path:
+    """Where worker host ``host`` appends its engine event log."""
+    safe = "".join(c if c.isalnum() or c in "-_" else "-" for c in host)
+    return Path(base) / "hosts" / f"{safe}.events.jsonl"
+
+
+def merged_events(
+    orchestrator_log: Union[str, Path],
+    host_logs: Optional[List[Union[str, Path]]] = None,
+) -> List[dict]:
+    """The service's merged event stream (orchestrator + worker hosts).
+
+    With only the orchestrator log given, its sibling ``hosts/``
+    directory is swept for worker logs automatically.
+    """
+    paths: List[Union[str, Path]] = [orchestrator_log]
+    if host_logs is None:
+        hosts_dir = Path(orchestrator_log).parent / "hosts"
+        host_logs = sorted(hosts_dir.glob("*.events.jsonl"))
+    paths.extend(host_logs)
+    return merge_event_streams(paths)

@@ -308,6 +308,28 @@ class CellSpec:
             doc[f.name] = value
         return doc
 
+    @classmethod
+    def from_canonical(cls, doc: Mapping[str, object]) -> "CellSpec":
+        """Rebuild a spec from :meth:`canonical` output (or its JSON).
+
+        The exact inverse of :meth:`canonical`: item-valued fields come
+        back as sorted tuples, so ``from_canonical(json.loads(
+        spec.canonical_json()))`` equals ``spec`` (and hashes to the
+        same cache key).  This is the wire form of the campaign
+        service — specs travel between orchestrator and worker hosts
+        as canonical JSON.
+        """
+        kwargs = {}
+        item_fields = {"scheme_kwargs", "scheme_attrs", "config", "extras"}
+        for f in fields(cls):
+            if f.name not in doc:
+                continue
+            value = doc[f.name]
+            if f.name in item_fields:
+                value = freeze_items(value)  # type: ignore[arg-type]
+            kwargs[f.name] = value
+        return cls(**kwargs)
+
     def canonical_json(self) -> str:
         """Canonical JSON: sorted keys, compact separators."""
         return json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))

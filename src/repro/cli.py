@@ -62,6 +62,20 @@ the first delivered packet to exceed its certified worst-case bound
 raises a structured ``BoundViolationError``.  Bounds certify the
 fault-free pipeline, so ``--bounds`` and ``--faults`` are mutually
 exclusive.
+
+Distributed campaigns (``docs/service.md``)::
+
+    python -m repro.cli serve --cache-dir results/cellcache --port 8765
+    python -m repro.cli work --connect 127.0.0.1:8765 --capacity 4
+    python -m repro.cli reliability --samples 200 --hosts 127.0.0.1:8765
+    python -m repro.cli fig12 --hosts local:3        # ephemeral cluster
+
+``serve`` runs the sharded orchestrator (leases, heartbeats,
+work-stealing; results land in its ``--cache-dir`` store); ``work``
+attaches a worker host.  ``--hosts`` on any campaign command routes
+that campaign through the service — ``local:N`` stands up an
+ephemeral N-worker cluster just for the run.  Results are
+bit-identical to single-host execution either way.
 """
 
 from __future__ import annotations
@@ -157,6 +171,94 @@ def _run_all(argv: Sequence[str]) -> None:
         main(list(engine_flags))
 
 
+def _serve(argv: Sequence[str]) -> None:
+    """Run the campaign-service orchestrator until interrupted."""
+    import argparse
+    import asyncio
+
+    from .campaign.service import FilesystemStore, MemoryStore, Orchestrator
+    from .campaign.service import orchestrator as orchestrator_defaults
+
+    parser = argparse.ArgumentParser(
+        prog="repro.cli serve",
+        description="campaign-service orchestrator (see docs/service.md)",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8765)
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="filesystem result store (shared with single-host runs); "
+        "omitting it keeps results in memory only",
+    )
+    parser.add_argument(
+        "--lease-duration",
+        type=float,
+        default=orchestrator_defaults.LEASE_DURATION,
+        help="seconds a granted cell stays leased without renewal",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=orchestrator_defaults.HEARTBEAT_INTERVAL,
+        help="seconds between worker heartbeats (each renews its leases)",
+    )
+    parser.add_argument(
+        "--miss-limit",
+        type=int,
+        default=orchestrator_defaults.MISS_LIMIT,
+        help="consecutive missed heartbeats before a host is declared dead",
+    )
+    parser.add_argument(
+        "--log-path",
+        default=None,
+        help="orchestrator JSONL event log (default: "
+        "<cache-dir>/service.events.jsonl when --cache-dir is set)",
+    )
+    args = parser.parse_args(argv)
+    store = (
+        FilesystemStore(args.cache_dir)
+        if args.cache_dir is not None
+        else MemoryStore()
+    )
+    log_path = args.log_path
+    if log_path is None and args.cache_dir is not None:
+        log_path = f"{args.cache_dir}/service.events.jsonl"
+    service = Orchestrator(
+        store,
+        host=args.host,
+        port=args.port,
+        lease_duration=args.lease_duration,
+        heartbeat_interval=args.heartbeat_interval,
+        miss_limit=args.miss_limit,
+        log_path=log_path,
+    )
+
+    async def _run() -> None:
+        await service.start()
+        print(
+            f"[serve] orchestrator on {service.address} "
+            f"(salt {store.salt[:12]}..., lease {service.lease_duration}s, "
+            f"heartbeat {service.heartbeat_interval}s)"
+        )
+        try:
+            await service.serve_forever()
+        finally:
+            await service.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("[serve] stopped")
+
+
+def _work(argv: Sequence[str]) -> None:
+    """Run a worker host attached to an orchestrator."""
+    from .campaign.service.worker import main as worker_main
+
+    worker_main(list(argv))
+
+
 def _split_robustness_flags(
     argv: List[str],
 ) -> Tuple[List[str], Optional[str], bool, Optional[int], Optional[str], Optional[int]]:
@@ -226,7 +328,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     )
     if not argv or argv[0] in ("-h", "--help"):
         print(__doc__)
-        print("commands:", ", ".join(sorted(_COMMANDS)), ", all")
+        print("commands:", ", ".join(sorted(_COMMANDS)), ", all, serve, work")
         return
     command, rest = argv[0], argv[1:]
     robustness = (
@@ -256,11 +358,18 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         if command == "all":
             _run_all(rest)
             return
+        if command == "serve":
+            _serve(rest)
+            return
+        if command == "work":
+            _work(rest)
+            return
         try:
             runner = _COMMANDS[command]
         except KeyError:
             raise SystemExit(
-                f"unknown command {command!r}; available: {sorted(_COMMANDS)} + ['all']"
+                f"unknown command {command!r}; available: "
+                f"{sorted(_COMMANDS)} + ['all', 'serve', 'work']"
             )
         runner(rest)
     finally:

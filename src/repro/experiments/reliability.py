@@ -199,6 +199,7 @@ def run_reliability(samples: int, verbose: bool = True, **kwargs) -> dict:
             "timeout",
             "max_retries",
             "quarantine_dir",
+            "hosts",
         )
         if k in kwargs
     }

@@ -15,12 +15,15 @@ from repro.campaign import (
     CampaignError,
     CellCache,
     CellSpec,
+    EventLog,
     campaign_argparser,
     decode_payload,
     encode_payload,
     engine_options,
     execute_cells,
     freeze_items,
+    iter_events,
+    merge_event_streams,
     run_cell,
 )
 from repro.campaign.engine import _attempt_cell
@@ -219,6 +222,55 @@ class TestExecuteCells:
         assert all("ts" in e for e in events)
 
 
+class TestEventLog:
+    def test_seq_monotonic_and_host_stamped(self, tmp_path):
+        path = tmp_path / "host.events.jsonl"
+        log = EventLog(path, host="w0")
+        for i in range(3):
+            log.emit({"event": "tick", "i": i})
+        log.close()
+        events = list(iter_events(path))
+        assert [e["seq"] for e in events] == [0, 1, 2]
+        assert all(e["host"] == "w0" for e in events)
+        assert all("ts" in e for e in events)
+        # Reopening appends; seq restarts per EventLog instance by
+        # design (merge order ties break on ts first, then host/seq).
+        log2 = EventLog(path, host="w0")
+        log2.emit({"event": "tock"})
+        log2.close()
+        assert len(list(iter_events(path))) == 4
+
+    def test_iter_events_skips_torn_trailing_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(path)
+        log.emit({"event": "a"})
+        log.emit({"event": "b"})
+        log.close()
+        with open(path, "a") as fh:
+            fh.write('{"event": "c", "status"')  # torn write, no newline
+        assert [e["event"] for e in iter_events(path)] == ["a", "b"]
+        # Missing file degrades to an empty stream, not an error.
+        assert list(iter_events(tmp_path / "missing.jsonl")) == []
+
+    def test_merge_event_streams_orders_by_ts_host_seq(self, tmp_path):
+        a = tmp_path / "a.jsonl"
+        b = tmp_path / "b.jsonl"
+        a.write_text(
+            json.dumps({"ts": 2.0, "seq": 0, "host": "a", "event": "late"})
+            + "\n"
+            + json.dumps({"ts": 1.0, "seq": 1, "host": "a", "event": "early"})
+            + "\n"
+        )
+        b.write_text(
+            json.dumps({"ts": 1.0, "seq": 0, "host": "b", "event": "tie"})
+            + "\n"
+        )
+        merged = merge_event_streams([a, b])
+        assert [e["event"] for e in merged] == ["early", "tie", "late"]
+        # Deterministic regardless of the order the paths are given in.
+        assert merge_event_streams([b, a]) == merged
+
+
 class TestRetry:
     def test_retries_simulation_error(self, monkeypatch):
         spec = CellSpec.parsec("canneal", "No-PG", instructions=100)
@@ -331,7 +383,7 @@ class TestSharedArgparser:
             [
                 "--workers", "3", "--cache-dir", "/tmp/c", "--no-resume",
                 "--timeout", "12.5", "--max-retries", "4",
-                "--quarantine-dir", "/tmp/q",
+                "--quarantine-dir", "/tmp/q", "--hosts", "local:3",
             ]
         )
         assert engine_options(args) == {
@@ -341,6 +393,7 @@ class TestSharedArgparser:
             "timeout": 12.5,
             "max_retries": 4,
             "quarantine_dir": "/tmp/q",
+            "hosts": "local:3",
         }
 
     def test_defaults(self):
@@ -352,6 +405,7 @@ class TestSharedArgparser:
             "timeout": None,
             "max_retries": 2,
             "quarantine_dir": None,
+            "hosts": None,
         }
 
     def test_suite_cache_and_instructions_variants(self):

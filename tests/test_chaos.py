@@ -39,6 +39,7 @@ from repro.campaign import (
     QuarantineLedger,
     encode_payload,
     execute_cells,
+    iter_events,
 )
 from repro.noc.errors import SimulationError
 
@@ -450,3 +451,112 @@ class TestCheckpointRecovery:
         assert stats.restored == 2 and stats.executed == 0
         # Restored entries were written back into the cache.
         assert cache.get(cells[0]) == well_behaved(cells[0])
+
+
+_GRACEFUL_SCRIPT = """
+import os, signal, sys
+from repro.campaign import CampaignInterrupted, CellCache, execute_cells
+from tests.test_chaos import orchestrator_cells
+
+cells = orchestrator_cells()
+cache_dir, log_path, ckpt_path = sys.argv[1:4]
+seen = []
+
+def on_result(index, spec, payload, was_hit):
+    seen.append(index)
+    if len(seen) == 3:
+        os.kill(os.getpid(), signal.SIGTERM)  # systemd-style stop
+
+try:
+    execute_cells(
+        cells,
+        cache=CellCache(cache_dir),
+        checkpoint=ckpt_path,
+        checkpoint_every=100,  # only the shutdown path may flush
+        log_path=log_path,
+        on_result=on_result,
+    )
+except CampaignInterrupted as exc:
+    sys.exit(40 + (1 if exc.signum == signal.SIGTERM else 2))
+sys.exit(0)
+"""
+
+
+class TestGracefulShutdown:
+    def test_sigterm_flushes_state_and_resumes_cleanly(self, tmp_path):
+        """SIGTERM mid-campaign: the engine flushes the checkpoint and
+        event log, re-raises as CampaignInterrupted, and a resumed run
+        restores the completed cells bit-identically."""
+        cache_dir = tmp_path / "cache"
+        log = tmp_path / "events.jsonl"
+        ckpt = tmp_path / "campaign.checkpoint.json"
+        env = dict(os.environ)
+        repo = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo / "src"), str(repo), env.get("PYTHONPATH", "")]
+        )
+        proc = subprocess.run(
+            [
+                sys.executable,
+                "-c",
+                _GRACEFUL_SCRIPT,
+                str(cache_dir),
+                str(log),
+                str(ckpt),
+            ],
+            env=env,
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        # 41 == CampaignInterrupted propagated carrying SIGTERM.
+        assert proc.returncode == 41, proc.stderr
+
+        # The shutdown path recorded the interruption in the event log.
+        events = list(iter_events(log))
+        interrupted = [e for e in events if e.get("event") == "interrupted"]
+        assert interrupted and interrupted[-1]["signal"] == signal.SIGTERM
+        # The checkpoint was flushed despite checkpoint_every=100.
+        ckpt_doc = json.loads(ckpt.read_text())
+        assert len(ckpt_doc["entries"]) >= 3
+
+        # Clean resume from checkpoint alone (no cache): completed
+        # cells restore, the rest run, hashes match an undisturbed run.
+        cells = orchestrator_cells()
+        resumed, stats = execute_cells(cells, checkpoint=ckpt)
+        assert stats.restored >= 3
+        assert stats.restored + stats.executed == len(cells)
+        undisturbed, _ = execute_cells(
+            cells, cache=CellCache(tmp_path / "fresh")
+        )
+        assert [payload_hash(p) for p in resumed] == [
+            payload_hash(p) for p in undisturbed
+        ]
+
+    def test_torn_log_and_corrupt_cache_degrade_to_recompute(
+        self, tmp_path, monkeypatch
+    ):
+        """A truncated trailing event-log line and a corrupt cache
+        entry (torn writes from a crash) must not poison a resume: the
+        log reader skips the torn line and the corrupt cell silently
+        recomputes."""
+        monkeypatch.setattr("repro.campaign.engine.run_cell", well_behaved)
+        cache = CellCache(tmp_path / "cache", salt="s1")
+        log = tmp_path / "events.jsonl"
+        cells = specs()
+        first, _ = execute_cells(cells, cache=cache, log_path=log)
+
+        complete_before = len(list(iter_events(log)))
+        with open(log, "a") as fh:
+            fh.write('{"event": "cell", "status": "do')  # torn mid-write
+        cache.path_for(cells[2]).write_bytes(b'{"payload": tor')
+
+        events = list(iter_events(log))
+        assert len(events) == complete_before, "torn line must be skipped"
+        resumed, stats = execute_cells(cells, cache=cache, log_path=log)
+        assert stats.hits == len(cells) - 1
+        assert stats.executed == 1, "corrupt entry must recompute"
+        assert stats.failed == 0
+        assert [payload_hash(p) for p in resumed] == [
+            payload_hash(p) for p in first
+        ]

@@ -1,0 +1,536 @@
+"""Tests for the distributed campaign service.
+
+Unit tests drive the orchestrator's scheduler directly over real TCP
+connections with hand-rolled worker/client peers (no subprocesses), so
+lease expiry, heartbeat lapse, work-stealing, dedup and the reconnect
+penalty are each exercised in isolation with tight clocks.
+
+The acceptance chaos scenario runs at the bottom: a three-worker local
+cluster (real worker subprocesses), one SIGKILLed mid-campaign, must
+finish with payloads bit-identical to a single-host run, serve a warm
+rerun entirely from the shared store, and leave the lease/steal/
+heartbeat record in the merged event log.
+"""
+
+import asyncio
+import hashlib
+import json
+import os
+import signal
+import time
+
+import pytest
+
+from repro.campaign import Campaign, CellSpec, execute_cells
+from repro.campaign.cache import code_salt, decode_payload, encode_payload
+from repro.campaign.service import (
+    FilesystemStore,
+    LocalCluster,
+    MemoryStore,
+    Orchestrator,
+    ProtocolError,
+    merged_events,
+    parse_address,
+    run_hosted,
+)
+from repro.campaign.service import protocol
+
+
+def specs(n=4):
+    return [
+        CellSpec.parsec("canneal", "No-PG", instructions=100, seed=seed)
+        for seed in range(1, n + 1)
+    ]
+
+
+def sim_cells(seeds=(1, 2, 3), schemes=("No-PG", "PowerPunch-PG")):
+    """Real (tiny) simulation cells for subprocess-backed tests."""
+    return [
+        CellSpec.synthetic(
+            "uniform_random",
+            0.02,
+            scheme,
+            warmup=30,
+            measurement=80,
+            drain=False,
+            seed=seed,
+        )
+        for scheme in schemes
+        for seed in seeds
+    ]
+
+
+def payload_hash(payload):
+    doc = json.dumps(encode_payload(payload), sort_keys=True)
+    return hashlib.sha256(doc.encode()).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# Protocol and wire forms
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:8765") == ("127.0.0.1", 8765)
+        assert parse_address(":9000") == ("127.0.0.1", 9000)
+        assert parse_address("example.com:1") == ("example.com", 1)
+        for bad in ("example.com", "host:", "host:port", ""):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+    def test_recv_rejects_garbage_and_untyped(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(b"{not json}\n")
+            with pytest.raises(ProtocolError):
+                await protocol.recv(reader)
+            reader.feed_data(b'{"no_type": 1}\n')
+            with pytest.raises(ProtocolError):
+                await protocol.recv(reader)
+            reader.feed_data(b'{"type": "ok"}\n')
+            assert (await protocol.recv(reader)) == {"type": "ok"}
+            reader.feed_eof()
+            assert (await protocol.recv(reader)) is None
+
+        asyncio.run(scenario())
+
+    def test_spec_canonical_round_trip_is_exact(self):
+        for spec in sim_cells() + specs(2) + [
+            CellSpec.reliability(5),
+            CellSpec.analysis("table1", width=8, hops=3),
+        ]:
+            doc = json.loads(json.dumps(spec.canonical()))
+            back = CellSpec.from_canonical(doc)
+            assert back == spec
+            assert back.cache_key("s") == spec.cache_key("s")
+
+
+class TestStores:
+    def test_backends_agree_bit_for_bit(self, tmp_path):
+        spec = specs(1)[0]
+        payload = {"seed": 1, "value": [1, 2, {"deep": True}]}
+        mem = MemoryStore(salt="s1")
+        fs = FilesystemStore(tmp_path / "store", salt="s1")
+        mem.put(spec, payload)
+        fs.put(spec, payload)
+        assert mem.key_for(spec) == fs.key_for(spec)
+        a = json.dumps(encode_payload(mem.get(spec)), sort_keys=True)
+        b = json.dumps(encode_payload(fs.get(spec)), sort_keys=True)
+        assert a == b
+        assert mem.get(specs(2)[1]) is None
+
+
+# ----------------------------------------------------------------------
+# Hand-rolled peers for scheduler unit tests
+# ----------------------------------------------------------------------
+class FakeWorker:
+    """A protocol-level worker under full test control."""
+
+    def __init__(self, orch, name, capacity=1, salt=None):
+        self.orch = orch
+        self.name = name
+        self.capacity = capacity
+        self.salt = salt if salt is not None else orch.store.salt
+        self.reader = None
+        self.writer = None
+
+    async def connect(self):
+        self.reader, self.writer = await protocol.open_connection(
+            "127.0.0.1", self.orch.port
+        )
+        await protocol.send(
+            self.writer,
+            {
+                "type": "hello",
+                "role": "worker",
+                "host": self.name,
+                "capacity": self.capacity,
+                "salt": self.salt,
+            },
+        )
+        return await self.recv()
+
+    async def recv(self, timeout=5.0):
+        return await asyncio.wait_for(protocol.recv(self.reader), timeout)
+
+    async def send(self, message):
+        await protocol.send(self.writer, message)
+
+    async def request(self, slots=1):
+        """Returns ``(leases, grant_end_message)``, skipping pokes."""
+        await self.send({"type": "request", "slots": slots})
+        leases = []
+        while True:
+            message = await self.recv()
+            if message is None or message["type"] == "grant-end":
+                return leases, message
+            if message["type"] == "lease":
+                leases.append(message)
+
+    async def finish(self, lease, payload):
+        await self.send(
+            {
+                "type": "result",
+                "lease_id": lease["lease_id"],
+                "key": lease["key"],
+                "payload": encode_payload(payload),
+            }
+        )
+
+    def close(self):
+        if self.writer is not None:
+            self.writer.close()
+
+
+async def submit_cells(orch, cells, name="test", resume=True, timeout=10.0):
+    """A protocol-level client: returns ``(payloads, done_message)``."""
+    reader, writer = await protocol.open_connection("127.0.0.1", orch.port)
+    try:
+        await protocol.send(
+            writer,
+            {"type": "hello", "role": "client", "salt": orch.store.salt},
+        )
+        await protocol.send(
+            writer,
+            {
+                "type": "submit",
+                "name": name,
+                "resume": resume,
+                "cells": [spec.canonical() for spec in cells],
+            },
+        )
+        payloads = [None] * len(cells)
+        statuses = [None] * len(cells)
+        while True:
+            message = await asyncio.wait_for(protocol.recv(reader), timeout)
+            assert message is not None, "service hung up mid-campaign"
+            if message["type"] == "error":
+                raise AssertionError(message["error"])
+            if message["type"] == "done":
+                return payloads, statuses, message
+            index = message["index"]
+            statuses[index] = message["status"]
+            if "payload" in message:
+                payloads[index] = decode_payload(message["payload"])
+    finally:
+        writer.close()
+
+
+class TestOrchestratorScheduling:
+    def _run(self, scenario, **orch_kwargs):
+        async def main():
+            orch = Orchestrator(MemoryStore(salt="s1"), **orch_kwargs)
+            await orch.start()
+            try:
+                await asyncio.wait_for(scenario(orch), timeout=30.0)
+            finally:
+                await orch.stop()
+
+        asyncio.run(main())
+
+    def test_salt_mismatch_is_refused(self):
+        async def scenario(orch):
+            worker = FakeWorker(orch, "w0", salt="other-salt")
+            reply = await worker.connect()
+            assert reply["type"] == "error"
+            assert "salt" in reply["error"]
+            worker.close()
+
+        self._run(scenario)
+
+    def test_lease_result_delivery_and_warm_resubmit(self):
+        cells = specs(3)
+
+        async def scenario(orch):
+            worker = FakeWorker(orch, "w0", capacity=4)
+            welcome = await worker.connect()
+            assert welcome["type"] == "welcome"
+            client = asyncio.ensure_future(submit_cells(orch, cells))
+            await asyncio.sleep(0.05)  # let the submit land
+            leases, end = await worker.request(slots=4)
+            assert end["granted"] == len(leases) == 3
+            for lease in leases:
+                spec = CellSpec.from_canonical(lease["spec"])
+                await worker.finish(lease, {"seed": spec.seed})
+            payloads, statuses, done = await client
+            assert statuses == ["done"] * 3
+            assert payloads == [{"seed": s.seed} for s in cells]
+            assert done["executed"] == 3 and done["failed"] == 0
+            # Second submit: all hits, no worker involvement at all.
+            payloads2, statuses2, done2 = await submit_cells(orch, cells)
+            assert statuses2 == ["hit"] * 3
+            assert payloads2 == payloads
+            assert done2["hits"] == 3 and done2["executed"] == 0
+            worker.close()
+
+        self._run(scenario)
+
+    def test_failure_is_final_and_streamed(self):
+        cells = specs(2)
+
+        async def scenario(orch):
+            worker = FakeWorker(orch, "w0", capacity=2)
+            await worker.connect()
+            client = asyncio.ensure_future(submit_cells(orch, cells))
+            await asyncio.sleep(0.05)
+            leases, _ = await worker.request(slots=2)
+            await worker.finish(leases[0], {"ok": True})
+            await worker.send(
+                {
+                    "type": "failure",
+                    "lease_id": leases[1]["lease_id"],
+                    "key": leases[1]["key"],
+                    "error": "kaboom",
+                    "classification": "deterministic",
+                }
+            )
+            payloads, statuses, done = await client
+            assert sorted(statuses) == ["done", "failed"]
+            assert done["failed"] == 1
+            assert orch.stats["failed"] == 1
+            worker.close()
+
+        self._run(scenario)
+
+    def test_lease_expiry_requeues_and_late_result_is_deduped(self):
+        cells = specs(1)
+
+        async def scenario(orch):
+            slow = FakeWorker(orch, "slow")
+            await slow.connect()
+            client = asyncio.ensure_future(submit_cells(orch, cells))
+            await asyncio.sleep(0.05)
+            leases, _ = await slow.request()
+            assert len(leases) == 1
+            # No heartbeat lists the lease, so it expires and requeues.
+            await asyncio.sleep(0.8)
+            assert orch.stats["expired"] >= 1
+            assert orch.stats["requeues"] >= 1
+            fast = FakeWorker(orch, "fast")
+            await fast.connect()
+            leases2, _ = await fast.request()
+            assert len(leases2) == 1
+            assert leases2[0]["key"] == leases[0]["key"]
+            await fast.finish(leases2[0], {"winner": "fast"})
+            payloads, _, _ = await client
+            assert payloads == [{"winner": "fast"}]
+            # The original host reports late: logged and discarded.
+            await slow.finish(leases[0], {"winner": "slow"})
+            await asyncio.sleep(0.1)
+            assert orch.stats["duplicates"] == 1
+            assert orch.store.get(cells[0]) == {"winner": "fast"}
+            slow.close()
+            fast.close()
+
+        self._run(
+            scenario,
+            lease_duration=0.3,
+            heartbeat_interval=0.2,
+            miss_limit=1000,  # isolate lease expiry from heartbeat lapse
+        )
+
+    def test_invalid_payload_does_not_win(self):
+        cells = specs(1)
+
+        async def scenario(orch):
+            worker = FakeWorker(orch, "w0")
+            await worker.connect()
+            client = asyncio.ensure_future(submit_cells(orch, cells))
+            await asyncio.sleep(0.05)
+            leases, _ = await worker.request()
+            await worker.send(
+                {
+                    "type": "result",
+                    "lease_id": leases[0]["lease_id"],
+                    "key": leases[0]["key"],
+                    "payload": {"bogus": "shape"},
+                }
+            )
+            await asyncio.sleep(0.1)
+            assert orch.stats["requeues"] >= 1
+            assert orch.stats["completed"] == 0
+            leases2, _ = await worker.request()
+            await worker.finish(leases2[0], {"ok": 1})
+            payloads, _, _ = await client
+            assert payloads == [{"ok": 1}]
+            worker.close()
+
+        self._run(scenario)
+
+    def test_heartbeat_lapse_kills_host_and_penalizes_reconnect(self):
+        cells = specs(2)
+
+        async def scenario(orch):
+            worker = FakeWorker(orch, "w0")
+            await worker.connect()
+            client = asyncio.ensure_future(submit_cells(orch, cells))
+            await asyncio.sleep(0.05)
+            leases, _ = await worker.request()
+            assert leases
+            # Silence: miss_limit heartbeats lapse, the host is declared
+            # dead and its leases requeue immediately.
+            deadline = time.monotonic() + 5.0
+            while orch.stats["dead_hosts"] < 1:
+                assert time.monotonic() < deadline, "host never declared dead"
+                await asyncio.sleep(0.05)
+            assert orch.stats["requeues"] >= 1
+            # The reconnect pays a doubled-per-death, capped penalty
+            # before it is trusted with leases again.
+            reborn = FakeWorker(orch, "w0")
+            await reborn.connect()
+            leases2, end = await reborn.request()
+            assert leases2 == []
+            assert end["retry_after"] > 0
+            # Heartbeat through the penalty window (silence would get
+            # this incarnation declared dead as well).
+            wait_until = time.monotonic() + end["retry_after"] + 0.15
+            seq = 0
+            while time.monotonic() < wait_until:
+                await reborn.send(
+                    {"type": "heartbeat", "seq": seq, "running": []}
+                )
+                seq += 1
+                await asyncio.sleep(0.05)
+            leases3, _ = await reborn.request(slots=1)
+            assert len(leases3) == 1
+            await reborn.finish(leases3[0], {"seed": 1})
+            leases4, _ = await reborn.request(slots=1)
+            await reborn.finish(leases4[0], {"seed": 2})
+            await client
+            worker.close()
+            reborn.close()
+
+        self._run(
+            scenario,
+            lease_duration=30.0,
+            heartbeat_interval=0.1,
+            miss_limit=2,
+        )
+
+    def test_idle_host_steals_from_the_slowest_shard(self):
+        cells = specs(8)
+
+        async def scenario(orch):
+            # Both hosts connect so the cells shard across them, but
+            # only the thief ever requests work: every cell in the
+            # victim's shard must be stolen for the campaign to finish.
+            victim = FakeWorker(orch, "victim")
+            thief = FakeWorker(orch, "thief", capacity=8)
+            await victim.connect()
+            await thief.connect()
+            client = asyncio.ensure_future(submit_cells(orch, cells))
+            await asyncio.sleep(0.05)
+            done = 0
+            while done < len(cells):
+                leases, _ = await thief.request(slots=8)
+                for lease in leases:
+                    spec = CellSpec.from_canonical(lease["spec"])
+                    await thief.finish(lease, {"seed": spec.seed})
+                    done += 1
+            payloads, _, _ = await client
+            assert payloads == [{"seed": s.seed} for s in cells]
+            victim_shard = sum(
+                1 for c in orch.cells.values() if c.shard == "victim"
+            )
+            assert orch.stats["steals"] == victim_shard
+            victim.close()
+            thief.close()
+
+        self._run(scenario)
+
+
+# ----------------------------------------------------------------------
+# Local cluster: real subprocess worker hosts
+# ----------------------------------------------------------------------
+class TestLocalCluster:
+    def test_chaos_sigkill_worker_bit_identical_and_warm_rerun(self, tmp_path):
+        """The acceptance scenario: 3 worker hosts, one SIGKILLed
+        mid-campaign.  The campaign must finish, match a single-host
+        run bit for bit, serve a warm rerun 100% from the store, and
+        leave the full lease/steal/heartbeat record in the merged
+        event log."""
+        cells = sim_cells(seeds=(1, 2, 3, 4, 5, 6))
+        single, _ = execute_cells(cells, workers=2)
+
+        cache_dir = tmp_path / "store"
+        log_path = tmp_path / "service.events.jsonl"
+        killed = {}
+
+        with LocalCluster(
+            3,
+            cache_dir=cache_dir,
+            heartbeat_interval=0.25,
+            miss_limit=2,
+            lease_duration=10.0,
+            log_path=log_path,
+        ) as cluster:
+
+            def on_result(index, spec, payload, was_hit):
+                if not killed:
+                    victim = cluster.workers[-1]
+                    victim.send_signal(signal.SIGKILL)
+                    victim.wait()
+                    killed["pid"] = victim.pid
+
+            from repro.campaign.service import execute_cells_remote
+
+            payloads, stats = execute_cells_remote(
+                cells, cluster.address, name="chaos", on_result=on_result
+            )
+            # Fast cells can finish inside the first heartbeat window;
+            # keep the cluster up a beat so the survivors' heartbeats
+            # land in the log before shutdown.
+            time.sleep(3 * 0.25)
+
+        assert killed, "the chaos kill never fired"
+        assert stats.failed == 0
+        assert all(p is not None for p in payloads)
+        # Bit-identical to the undisturbed single-host run.
+        assert [payload_hash(p) for p in payloads] == [
+            payload_hash(p) for p in single
+        ]
+
+        # Warm rerun against the same store: 100% hits, no worker ever
+        # sees a cell.
+        warm_payloads, warm_stats = run_hosted(
+            cells, "local:2", name="chaos-warm", cache_dir=cache_dir
+        )
+        assert warm_stats.hits == len(cells) and warm_stats.executed == 0
+        assert [payload_hash(p) for p in warm_payloads] == [
+            payload_hash(p) for p in single
+        ]
+
+        # The merged event stream tells the whole story, stamped with
+        # per-host identity and sequence.
+        events = merged_events(log_path)
+        kinds = {e.get("event") for e in events}
+        assert "lease" in kinds and "heartbeat" in kinds
+        assert "submit" in kinds and "result" in kinds
+        hosts_seen = {e.get("host") for e in events}
+        assert "orchestrator" in hosts_seen
+        for e in events:
+            assert "seq" in e and "ts" in e
+        # The SIGKILLed host was noticed and its work recovered.
+        assert {"host-dead", "host-leave"} & kinds
+        if any(e.get("event") == "requeue" for e in events):
+            assert "steal" in kinds or "lease" in kinds
+
+    def test_run_hosted_matches_engine_and_campaign_integration(self, tmp_path):
+        cells = sim_cells(seeds=(1, 2))
+        single, _ = execute_cells(cells)
+        campaign = Campaign(name="svc-int", cells=tuple(cells))
+        payloads = campaign.run(
+            hosts="local:2", cache_dir=tmp_path / "store"
+        )
+        assert [payload_hash(p) for p in payloads] == [
+            payload_hash(p) for p in single
+        ]
+        assert campaign.last_stats.executed == len(cells)
+        # Warm rerun through the Campaign front door: pure hits.
+        payloads2 = campaign.run(
+            hosts="local:2", cache_dir=tmp_path / "store"
+        )
+        assert campaign.last_stats.hits == len(cells)
+        assert campaign.last_stats.executed == 0
+        assert [payload_hash(p) for p in payloads2] == [
+            payload_hash(p) for p in single
+        ]
